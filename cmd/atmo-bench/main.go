@@ -1,0 +1,54 @@
+// Command atmo-bench regenerates the tables and figures of the paper's
+// evaluation (§6). Each experiment prints measured values next to the
+// paper's reported numbers.
+//
+// Usage:
+//
+//	atmo-bench                  # run everything
+//	atmo-bench -experiment fig4 # one experiment
+//	atmo-bench -list            # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"atmosphere/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id (or comma list, or 'all')")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var run []bench.Experiment
+	if *experiment == "all" {
+		run = bench.All()
+	} else {
+		for _, id := range strings.Split(*experiment, ",") {
+			e, ok := bench.ByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			run = append(run, e)
+		}
+	}
+	for _, e := range run {
+		res, err := e.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+}

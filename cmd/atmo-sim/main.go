@@ -1,0 +1,97 @@
+// Command atmo-sim boots the simulated Atmosphere kernel and runs a
+// small demonstration workload under full checking: containers,
+// processes, memory, IPC, and a container kill, narrating each step and
+// validating the specification and invariants after every syscall.
+//
+// Usage:
+//
+//	atmo-sim [-frames 8192] [-cores 4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/pt"
+	"atmosphere/internal/verify"
+)
+
+func main() {
+	frames := flag.Int("frames", 8192, "physical frames (4 KiB)")
+	cores := flag.Int("cores", 4, "simulated cores")
+	flag.Parse()
+
+	c, init, err := verify.NewChecker(hw.Config{Frames: *frames, Cores: *cores, TLBSlots: 512})
+	if err != nil {
+		fail(err)
+	}
+	k := c.K
+	say := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
+	must := func(r kernel.Ret, err error) kernel.Ret {
+		if err != nil {
+			fail(err)
+		}
+		if r.Errno != kernel.OK && r.Errno != kernel.EWOULDBLOCK {
+			fail(fmt.Errorf("syscall failed: %v", r.Errno))
+		}
+		return r
+	}
+
+	say("booted: %d frames (%d MiB), %d cores; init thread %#x",
+		*frames, *frames*4/1024, *cores, init)
+	say("every syscall below is checked against its specification + all invariants")
+
+	r := must(c.NewContainer(0, init, 400, []int{0, 1}))
+	cntr := pm.Ptr(r.Vals[0])
+	say("created container %#x (quota 400 pages, cores 0-1)", cntr)
+
+	r = must(c.NewProcessIn(0, init, cntr))
+	proc := pm.Ptr(r.Vals[0])
+	r = must(c.NewThreadIn(0, init, proc, 1))
+	worker := pm.Ptr(r.Vals[0])
+	say("created process %#x with worker thread %#x on core 1", proc, worker)
+
+	must(c.Mmap(1, worker, 0x400000, 16, hw.Size4K, pt.RW))
+	say("worker mapped 16 pages at 0x400000 (container used %d/%d pages)",
+		k.PM.Cntr(cntr).UsedPages, k.PM.Cntr(cntr).QuotaPages)
+
+	table := k.PM.Proc(proc).PageTable
+	k.Machine.MMU.Store(table.CR3(), 0x400000, []byte("written through the real MMU walk"))
+	got, _ := k.Machine.MMU.Load(table.CR3(), 0x400000, 33)
+	say("MMU round trip through the worker's page table: %q", got)
+
+	// IPC between init and the worker.
+	must(c.NewEndpoint(0, init, 0))
+	ep := k.PM.Thrd(init).Endpoints[0]
+	k.PM.Thrd(worker).Endpoints[0] = ep
+	k.PM.EndpointIncRef(ep, 1)
+	must(c.Recv(1, worker, 0, kernel.RecvArgs{PageVA: 0x9000, EdptSlot: -1}))
+	must(c.Mmap(0, init, 0x100000, 1, hw.Size4K, pt.RW))
+	initTable := k.PM.Proc(k.PM.Thrd(init).OwningProc).PageTable
+	k.Machine.MMU.Store(initTable.CR3(), 0x100000, []byte("shared page payload"))
+	must(c.Send(0, init, 0, kernel.SendArgs{Regs: [4]uint64{42}, SendPage: true, PageVA: 0x100000}))
+	got, _ = k.Machine.MMU.Load(table.CR3(), 0x9000, 19)
+	say("IPC page transfer: worker reads %q at its 0x9000", got)
+
+	free := k.Alloc.FreeCount4K()
+	must(c.KillContainer(0, init, cntr))
+	say("killed the container: %d pages harvested back to the free list",
+		k.Alloc.FreeCount4K()-free)
+
+	if err := verify.TotalWF(k); err != nil {
+		fail(err)
+	}
+	say("final state: %d checked transitions, all specifications and invariants held", c.Transitions)
+	say("cycles consumed: core0=%d core1=%d (simulated %0.f µs at 2.2 GHz)",
+		k.Machine.Core(0).Clock.Cycles(), k.Machine.Core(1).Clock.Cycles(),
+		float64(k.Machine.TotalCycles())/hw.ClockHz*1e6)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atmo-sim:", err)
+	os.Exit(1)
+}

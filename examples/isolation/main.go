@@ -1,0 +1,84 @@
+// Isolation: the paper's running example (§4.3) — two mutually
+// distrusting containers A and B, completely isolated by the kernel,
+// each talking to a verified shared service V over dedicated endpoints.
+// The example exchanges requests through V, then kills A mid-transaction
+// and shows that V releases everything it received and B is unaffected.
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/ni"
+	"atmosphere/internal/pt"
+)
+
+func main() {
+	s, err := ni.Build(ni.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := ni.NewService(s)
+	k := s.K
+	fmt.Printf("A=%#x B=%#x V=%#x (cores 1, 2, 3; dedicated endpoints A-V and B-V)\n", s.A, s.B, s.V)
+
+	// A asks V to increment a number through a shared page.
+	step(v) // V waits on A's channel
+	if r := k.SysMmap(1, s.TA, 0x40000, 1, hw.Size4K, pt.RW); r.Errno != kernel.OK {
+		log.Fatalf("A mmap: %v", r.Errno)
+	}
+	tableA := k.PM.Proc(s.PA).PageTable
+	var req [8]byte
+	binary.LittleEndian.PutUint64(req[:], 41)
+	k.Machine.MMU.Store(tableA.CR3(), 0x40000, req[:])
+	if r := k.SysCall(1, s.TA, s.SlotAV, kernel.SendArgs{Regs: [4]uint64{7}, SendPage: true, PageVA: 0x40000}); r.Errno != kernel.EWOULDBLOCK {
+		log.Fatalf("A call: %v", r.Errno)
+	}
+	step(v) // V handles, replies, releases
+	resp, _ := k.Machine.MMU.Load(tableA.CR3(), 0x40008, 8)
+	fmt.Printf("A sent 41, V wrote back %d into the shared page; reply regs %v\n",
+		binary.LittleEndian.Uint64(resp), k.PM.Thrd(s.TA).IPC.Msg.Regs[:2])
+
+	// Isolation invariants hold throughout.
+	if err := s.CheckIsolation(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("memory_iso and endpoint_iso: OK (A and B share nothing)")
+
+	// B's observable state is untouched by the entire A<->V exchange.
+	obsB := ni.Observe(k, s.B)
+
+	// A dies mid-transaction: it calls V with a page, then is killed
+	// before V handles the request.
+	step(v) // V waits on B's channel
+	step(v) // V waits on A's channel again
+	if r := k.SysMmap(1, s.TA, 0x50000, 1, hw.Size4K, pt.RW); r.Errno != kernel.OK {
+		log.Fatalf("A mmap2: %v", r.Errno)
+	}
+	if r := k.SysCall(1, s.TA, s.SlotAV, kernel.SendArgs{SendPage: true, PageVA: 0x50000}); r.Errno != kernel.EWOULDBLOCK {
+		log.Fatalf("A call2: %v", r.Errno)
+	}
+	if r := k.SysKillContainer(0, s.Init, s.A); r.Errno != kernel.OK {
+		log.Fatalf("kill A: %v", r.Errno)
+	}
+	fmt.Println("killed container A mid-transaction")
+	step(v) // V handles the orphaned request and releases the page
+	if err := v.CheckCorrectness(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("V released the dead client's page (released=%d) and returned to baseline\n", v.Released)
+
+	if after := ni.Observe(k, s.B); after != obsB {
+		log.Fatal("B's observable state changed — non-interference violated!")
+	}
+	fmt.Println("B's observable state is bit-identical through all of A's activity and death")
+}
+
+func step(v *ni.Service) {
+	if err := v.Step(); err != nil {
+		log.Fatal(err)
+	}
+}

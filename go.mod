@@ -1,0 +1,3 @@
+module atmosphere
+
+go 1.22

@@ -1,0 +1,103 @@
+package apps
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/netproto"
+)
+
+func BenchmarkMaglevPopulate(b *testing.B) {
+	names, addrs := benchBackends(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewMaglev(names, addrs, DefaultTableSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaglevLookup(b *testing.B) {
+	names, addrs := benchBackends(16)
+	m, _ := NewMaglev(names, addrs, DefaultTableSize)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Lookup(netproto.FiveTuple{SrcPort: uint16(i), DstPort: 80, Proto: 17})
+	}
+}
+
+func BenchmarkMaglevForward(b *testing.B) {
+	names, addrs := benchBackends(16)
+	m, _ := NewMaglev(names, addrs, DefaultTableSize)
+	var clk hw.Clock
+	frame := make([]byte, 128)
+	n, _ := netproto.BuildUDP(frame, netproto.MAC{1}, netproto.MAC{2},
+		netproto.IPv4{10, 0, 0, 1}, netproto.IPv4{192, 168, 1, 1}, 5555, 80, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !m.Forward(&clk, frame[:n]) {
+			b.Fatal("forward refused")
+		}
+	}
+}
+
+func benchBackends(n int) ([]string, []netproto.IPv4) {
+	var names []string
+	var addrs []netproto.IPv4
+	for i := 0; i < n; i++ {
+		names = append(names, fmt.Sprintf("b%02d", i))
+		addrs = append(addrs, netproto.IPv4{172, 16, 0, byte(i + 1)})
+	}
+	return names, addrs
+}
+
+func BenchmarkKVStoreGet(b *testing.B) {
+	s, _ := NewKVStore(1<<20, 16, 16)
+	var clk hw.Clock
+	key := make([]byte, 16)
+	val := make([]byte, 16)
+	for i := 0; i < 10000; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i))
+		s.Set(&clk, key, val)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i%10000))
+		if _, ok := s.Get(&clk, key); !ok {
+			b.Fatal("miss")
+		}
+	}
+}
+
+func BenchmarkKVStoreSet(b *testing.B) {
+	s, _ := NewKVStore(1<<21, 16, 16)
+	var clk hw.Clock
+	key := make([]byte, 16)
+	val := make([]byte, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		binary.LittleEndian.PutUint64(key, uint64(i)%(1<<20))
+		if !s.Set(&clk, key, val) {
+			b.Fatal("set failed")
+		}
+	}
+}
+
+func BenchmarkHttpdServe(b *testing.B) {
+	h := NewHttpd(map[string][]byte{"/index.html": make([]byte, 612)})
+	var clk hw.Clock
+	frame := make([]byte, 512)
+	req := []byte("GET /index.html HTTP/1.1\r\nHost: atmo\r\n\r\n")
+	n, _ := netproto.BuildUDP(frame, netproto.MAC{1}, netproto.MAC{2},
+		netproto.IPv4{10, 0, 0, 9}, netproto.IPv4{10, 0, 0, 1}, 40000, 80, req)
+	master := append([]byte(nil), frame[:n]...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(frame, master) // Serve overwrites the payload with the response
+		if !h.Serve(&clk, frame[:n]) {
+			b.Fatal("serve refused")
+		}
+	}
+}

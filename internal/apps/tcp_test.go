@@ -1,0 +1,192 @@
+package apps
+
+import (
+	"bytes"
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/netproto"
+)
+
+// tcpExchange sends one client frame to the server and returns the
+// server's reply (nil if none).
+func tcpExchange(t *testing.T, srv *TCPServer, clk *hw.Clock, frame []byte) []byte {
+	t.Helper()
+	var tx [2048]byte
+	n := srv.HandleFrame(clk, frame, tx[:])
+	if n == 0 {
+		return nil
+	}
+	return append([]byte(nil), tx[:n]...)
+}
+
+func buildClientSeg(t *testing.T, port uint16, seq, ack uint32, flags uint8, payload []byte) []byte {
+	t.Helper()
+	var buf [2048]byte
+	n, err := netproto.BuildTCP(buf[:], netproto.MAC{9}, netproto.MAC{2},
+		netproto.IPv4{10, 0, 0, 9}, netproto.IPv4{192, 168, 1, 1},
+		port, 80, seq, ack, flags, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]byte(nil), buf[:n]...)
+}
+
+func TestTCPBuildParseRoundTrip(t *testing.T) {
+	var buf [2048]byte
+	payload := []byte("GET / HTTP/1.1\r\n\r\n")
+	n, err := netproto.BuildTCP(buf[:], netproto.MAC{1}, netproto.MAC{2},
+		netproto.IPv4{1, 2, 3, 4}, netproto.IPv4{5, 6, 7, 8},
+		1234, 80, 42, 99, netproto.TCPAck|netproto.TCPPsh, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := netproto.ParseTCP(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SrcPort != 1234 || p.DstPort != 80 || p.Seq != 42 || p.Ack != 99 {
+		t.Fatalf("header fields %+v", p)
+	}
+	if p.Flags != netproto.TCPAck|netproto.TCPPsh {
+		t.Fatalf("flags %#x", p.Flags)
+	}
+	// Ethernet padding must not leak into the payload.
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload %q (len %d), want %q", p.Payload, len(p.Payload), payload)
+	}
+	if err := netproto.VerifyIPv4Checksum(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerHandshakeAndRequest(t *testing.T) {
+	srv, h := NewHttpdTCP(map[string][]byte{"/index.html": []byte("<html>tcp</html>")})
+	var clk hw.Clock
+
+	// SYN -> SYN|ACK.
+	synAck := tcpExchange(t, srv, &clk, buildClientSeg(t, 40000, 100, 0, netproto.TCPSyn, nil))
+	if synAck == nil {
+		t.Fatal("no SYN|ACK")
+	}
+	sa, _ := netproto.ParseTCP(synAck)
+	if sa.Flags&netproto.TCPSyn == 0 || sa.Flags&netproto.TCPAck == 0 || sa.Ack != 101 {
+		t.Fatalf("SYN|ACK wrong: %+v", sa)
+	}
+	// Request with piggybacked handshake ACK.
+	req := []byte("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n")
+	resp := tcpExchange(t, srv, &clk,
+		buildClientSeg(t, 40000, 101, sa.Seq+1, netproto.TCPAck|netproto.TCPPsh, req))
+	if resp == nil {
+		t.Fatal("no response")
+	}
+	rp, _ := netproto.ParseTCP(resp)
+	if !bytes.Contains(rp.Payload, []byte("200 OK")) || !bytes.Contains(rp.Payload, []byte("<html>tcp</html>")) {
+		t.Fatalf("response payload %q", rp.Payload)
+	}
+	if rp.Ack != 101+uint32(len(req)) {
+		t.Fatalf("response acks %d", rp.Ack)
+	}
+	if srv.Accepted != 1 || srv.Requests != 1 || h.Served != 1 {
+		t.Fatalf("stats %d %d %d", srv.Accepted, srv.Requests, h.Served)
+	}
+	// Second request on the same connection (keep-alive).
+	resp = tcpExchange(t, srv, &clk,
+		buildClientSeg(t, 40000, 101+uint32(len(req)), rp.Seq+uint32(len(rp.Payload)),
+			netproto.TCPAck|netproto.TCPPsh, req))
+	if resp == nil || srv.Requests != 2 {
+		t.Fatal("keep-alive request failed")
+	}
+}
+
+func TestTCPServerRejectsStrays(t *testing.T) {
+	srv, _ := NewHttpdTCP(map[string][]byte{"/": []byte("x")})
+	var clk hw.Clock
+	// Data for an unknown connection draws an RST.
+	rst := tcpExchange(t, srv, &clk,
+		buildClientSeg(t, 41000, 5, 0, netproto.TCPAck|netproto.TCPPsh, []byte("GET / HTTP/1.1\r\n\r\n")))
+	if rst == nil {
+		t.Fatal("no RST")
+	}
+	p, _ := netproto.ParseTCP(rst)
+	if p.Flags&netproto.TCPRst == 0 {
+		t.Fatalf("expected RST, got %#x", p.Flags)
+	}
+	// Wrong port is dropped silently.
+	var buf [2048]byte
+	n, _ := netproto.BuildTCP(buf[:], netproto.MAC{9}, netproto.MAC{2},
+		netproto.IPv4{10, 0, 0, 9}, netproto.IPv4{192, 168, 1, 1},
+		40000, 8080, 1, 0, netproto.TCPSyn, nil)
+	if out := tcpExchange(t, srv, &clk, buf[:n]); out != nil {
+		t.Fatal("wrong-port segment answered")
+	}
+	// Garbage is dropped.
+	if out := tcpExchange(t, srv, &clk, []byte{1, 2, 3}); out != nil {
+		t.Fatal("garbage answered")
+	}
+}
+
+func TestTCPServerFin(t *testing.T) {
+	srv, _ := NewHttpdTCP(map[string][]byte{"/": []byte("x")})
+	var clk hw.Clock
+	tcpExchange(t, srv, &clk, buildClientSeg(t, 40000, 100, 0, netproto.TCPSyn, nil))
+	tcpExchange(t, srv, &clk, buildClientSeg(t, 40000, 101, 0, netproto.TCPAck, nil))
+	if srv.Connections() != 1 {
+		t.Fatalf("connections = %d", srv.Connections())
+	}
+	finAck := tcpExchange(t, srv, &clk,
+		buildClientSeg(t, 40000, 101, 0, netproto.TCPFin|netproto.TCPAck, nil))
+	if finAck == nil {
+		t.Fatal("no FIN|ACK")
+	}
+	p, _ := netproto.ParseTCP(finAck)
+	if p.Flags&netproto.TCPFin == 0 {
+		t.Fatal("FIN not acknowledged with FIN")
+	}
+	if srv.Connections() != 0 || srv.Closed != 1 {
+		t.Fatal("connection not torn down")
+	}
+}
+
+func TestTCPServerOutOfOrderDropped(t *testing.T) {
+	srv, _ := NewHttpdTCP(map[string][]byte{"/": []byte("x")})
+	var clk hw.Clock
+	synAck := tcpExchange(t, srv, &clk, buildClientSeg(t, 40000, 100, 0, netproto.TCPSyn, nil))
+	sa, _ := netproto.ParseTCP(synAck)
+	// Wrong sequence number: dropped, no response.
+	if out := tcpExchange(t, srv, &clk,
+		buildClientSeg(t, 40000, 999, sa.Seq+1, netproto.TCPAck|netproto.TCPPsh,
+			[]byte("GET / HTTP/1.1\r\n\r\n"))); out != nil {
+		t.Fatal("out-of-order segment answered")
+	}
+	if srv.Dropped == 0 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestWrkClientAgainstServer(t *testing.T) {
+	// Drive the wrk client directly against the server: every frame the
+	// client emits goes to the server; every server reply goes back.
+	srv, h := NewHttpdTCP(map[string][]byte{"/index.html": []byte("<html>wrk</html>")})
+	wrk := NewWrkClient(4, "/index.html")
+	var clk hw.Clock
+	var tx [2048]byte
+	for i := 0; i < 64; i++ {
+		frame := wrk.Next()
+		if n := srv.HandleFrame(&clk, frame, tx[:]); n > 0 {
+			wrk.Consume(tx[:n])
+		}
+	}
+	if wrk.Handshakes != 4 {
+		t.Fatalf("handshakes = %d", wrk.Handshakes)
+	}
+	if wrk.Responses < 20 {
+		t.Fatalf("responses = %d", wrk.Responses)
+	}
+	if h.Served != wrk.Responses {
+		t.Fatalf("served %d != responses %d", h.Served, wrk.Responses)
+	}
+	if h.NotFound != 0 || srv.Dropped != 0 {
+		t.Fatalf("notfound=%d dropped=%d", h.NotFound, srv.Dropped)
+	}
+}

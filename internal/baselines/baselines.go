@@ -1,0 +1,113 @@
+// Package baselines models the unverified comparison systems of the
+// evaluation — the Linux in-kernel paths (sockets, the multi-queue
+// block layer), the kernel-bypass frameworks (DPDK, SPDK), and Nginx —
+// as documented per-operation cost models over the shared cycle
+// accounting. The Atmosphere sides of every figure are measured from
+// the simulated system; the baselines are cost models because their
+// internals are outside the paper's (and this reproduction's) scope,
+// calibrated so the headline numbers the paper quotes for them hold:
+// Linux 0.89 Mpps (64B UDP), fio 13K/141K read IOPS (b1/b32), Linux
+// Maglev 1.0 Mpps, DPDK Maglev 9.72 Mpps, Nginx 70.9K req/s (§6.5-6.6).
+package baselines
+
+import (
+	"atmosphere/internal/hw"
+	"atmosphere/internal/nic"
+	"atmosphere/internal/nvme"
+)
+
+// Per-packet / per-IO cost constants (cycles). Each is the end-to-end
+// CPU cost on the paper's c220g5 testbed implied by the rates the paper
+// reports.
+const (
+	// LinuxUDPPacketCycles: one syscall crossing plus the generic
+	// socket/netfilter/qdisc stack per 64-byte packet (0.89 Mpps).
+	LinuxUDPPacketCycles = 2472
+	// LinuxMaglevPacketCycles: the socket Maglev's per-packet cost
+	// (1.0 Mpps): recv + forwarding decision + send.
+	LinuxMaglevPacketCycles = 2200
+	// DPDKPacketCycles: DPDK PMD per-packet RX cost at batch 32
+	// (descriptor + prefetch + mbuf bookkeeping).
+	DPDKPacketCycles = 95
+	// DPDKMaglevWorkCycles: the DPDK Maglev application work per packet
+	// on top of the PMD (9.72 Mpps total).
+	DPDKMaglevWorkCycles = 112
+	// DPDKPerBatchCycles: tail bump + queue check per burst.
+	DPDKPerBatchCycles = 290
+	// LinuxBlockReadCycles / LinuxBlockWriteCycles: per-IO CPU cost of
+	// the io_submit + blk-mq + interrupt path (141K read IOPS at b32;
+	// writes are leaner, landing within 3% of the device's 256K).
+	LinuxBlockReadCycles  = 15_600
+	LinuxBlockWriteCycles = 8_870
+	// SPDKIOCycles: SPDK's polled per-IO cost.
+	SPDKIOCycles = 420
+	// NginxRequestCycles: per-request cost of epoll + socket reads +
+	// parsing + writev on the paper's single-worker setup (70.9K req/s).
+	NginxRequestCycles = 31_030
+)
+
+// mpps converts a per-packet cycle cost into Mpps, capped at line rate.
+func mpps(cyclesPerPkt float64) float64 {
+	pps := hw.ClockHz / cyclesPerPkt
+	if pps > nic.LineRatePps {
+		pps = nic.LineRatePps
+	}
+	return pps / 1e6
+}
+
+// LinuxUDPMpps is the Linux socket packet rate (batch-insensitive: every
+// packet crosses the syscall boundary, §6.5.1).
+func LinuxUDPMpps(batch int) float64 {
+	return mpps(LinuxUDPPacketCycles)
+}
+
+// DPDKMpps is the DPDK RX rate for the given batch and per-packet
+// application work.
+func DPDKMpps(batch int, appWork float64) float64 {
+	per := DPDKPacketCycles + appWork + DPDKPerBatchCycles/float64(batch)
+	return mpps(per)
+}
+
+// LinuxMaglevMpps is the socket Maglev rate (§6.6).
+func LinuxMaglevMpps() float64 { return mpps(LinuxMaglevPacketCycles) }
+
+// DPDKMaglevMpps is the PCIe-passthrough DPDK Maglev rate (§6.6).
+func DPDKMaglevMpps() float64 { return DPDKMpps(32, DPDKMaglevWorkCycles) }
+
+// storageIOPS folds a CPU cost with the device envelope.
+func storageIOPS(cyclesPerIO float64, batch int, read bool) float64 {
+	coreRate := hw.ClockHz / cyclesPerIO
+	var latency, devMax float64
+	if read {
+		latency, devMax = nvme.ReadLatencyCycles, nvme.ReadMaxIOPS
+	} else {
+		latency, devMax = nvme.WriteLatencyCycles, nvme.WriteMaxIOPS
+	}
+	latencyBound := float64(batch) * hw.ClockHz / latency
+	iops := coreRate
+	if latencyBound < iops {
+		iops = latencyBound
+	}
+	if devMax < iops {
+		iops = devMax
+	}
+	return iops
+}
+
+// LinuxFioIOPS is fio over libaio with direct I/O (§6.5.2).
+func LinuxFioIOPS(read bool, batch int) float64 {
+	if read {
+		return storageIOPS(LinuxBlockReadCycles, batch, true)
+	}
+	return storageIOPS(LinuxBlockWriteCycles, batch, false)
+}
+
+// SPDKIOPS is the SPDK polled driver (§6.5.2).
+func SPDKIOPS(read bool, batch int) float64 {
+	return storageIOPS(SPDKIOCycles, batch, read)
+}
+
+// NginxRps is Nginx serving the static page under the wrk load (§6.6).
+func NginxRps() float64 {
+	return hw.ClockHz / NginxRequestCycles
+}

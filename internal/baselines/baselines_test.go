@@ -1,0 +1,69 @@
+package baselines
+
+import (
+	"testing"
+
+	"atmosphere/internal/nic"
+	"atmosphere/internal/nvme"
+)
+
+func within(t *testing.T, got, want, tol float64, what string) {
+	t.Helper()
+	if got < want*(1-tol) || got > want*(1+tol) {
+		t.Fatalf("%s = %v, want %v ±%.0f%%", what, got, want, tol*100)
+	}
+}
+
+func TestLinuxUDPHeadline(t *testing.T) {
+	within(t, LinuxUDPMpps(1), 0.89, 0.02, "linux udp mpps")
+	// Batch-insensitive: per-packet syscalls.
+	if LinuxUDPMpps(32) != LinuxUDPMpps(1) {
+		t.Fatal("linux rate should not improve with batching")
+	}
+}
+
+func TestDPDKHeadlines(t *testing.T) {
+	// b32 with light app work saturates line rate.
+	if got := DPDKMpps(32, 46); got != nic.LineRatePps/1e6 {
+		t.Fatalf("dpdk b32 = %v, want line rate", got)
+	}
+	// b1 pays the per-burst overhead per packet.
+	if DPDKMpps(1, 46) >= DPDKMpps(32, 46) {
+		t.Fatal("dpdk batching should help")
+	}
+	within(t, DPDKMaglevMpps(), 9.72, 0.10, "dpdk maglev")
+	within(t, LinuxMaglevMpps(), 1.0, 0.02, "linux maglev")
+}
+
+func TestStorageHeadlines(t *testing.T) {
+	within(t, LinuxFioIOPS(true, 1), 13_000, 0.05, "fio read b1")
+	within(t, LinuxFioIOPS(true, 32), 141_000, 0.02, "fio read b32")
+	within(t, LinuxFioIOPS(false, 32), 248_000, 0.02, "fio write b32")
+	// SPDK reaches the device envelope for reads at depth 32 and the
+	// write ceiling.
+	if got := SPDKIOPS(true, 32); got > nvme.ReadMaxIOPS {
+		t.Fatalf("spdk read above device max: %v", got)
+	}
+	if got := SPDKIOPS(false, 32); got != nvme.WriteMaxIOPS {
+		t.Fatalf("spdk write = %v, want device max", got)
+	}
+	// QD1 is latency bound for everyone.
+	if SPDKIOPS(true, 1) > LinuxFioIOPS(true, 1)*1.05 {
+		t.Fatal("QD1 reads should be latency bound regardless of stack")
+	}
+}
+
+func TestNginxHeadline(t *testing.T) {
+	within(t, NginxRps(), 70_900, 0.02, "nginx rps")
+}
+
+func TestRatesAreOrdered(t *testing.T) {
+	// The Figure 4 ordering the paper reports: linux << dpdk-b32.
+	if LinuxUDPMpps(1) >= DPDKMpps(32, 46) {
+		t.Fatal("linux should be far below dpdk")
+	}
+	// Figure 6 ordering: linux maglev << dpdk maglev.
+	if LinuxMaglevMpps() >= DPDKMaglevMpps() {
+		t.Fatal("linux maglev should be far below dpdk maglev")
+	}
+}

@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+
+	"atmosphere/internal/verify"
+)
+
+// Fig2PerFunctionTimes reproduces Figure 2: verification time for each
+// function, sorted descending — the distribution matters (a few slow
+// functions, a long fast tail), not the absolute values.
+func Fig2PerFunctionTimes() (Result, error) {
+	timings, total, err := verify.RunObligations(verify.Obligations(), 1)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		ID:    "fig2",
+		Title: "Verification time for each function (obligation suite, sorted)",
+	}
+	for _, t := range timings {
+		res.Rows = append(res.Rows, Row{
+			Name:  fmt.Sprintf("%s [%s]", t.Name, t.Module),
+			Value: t.Elapsed.Seconds() * 1000,
+			Unit:  "ms",
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("total %.2fs sequential; paper: full verification 1m10s @8 threads on c220g5, 15s on an i9-13900hx laptop", total.Seconds()))
+	return res, nil
+}
+
+// Fig3DevelopmentHistory reproduces Figure 3's summary: the three
+// clean-slate versions of Atmosphere and their durations (§6.3). This
+// is historical data reported by the paper, reproduced as reference.
+func Fig3DevelopmentHistory() (Result, error) {
+	return Result{
+		ID:    "fig3",
+		Title: "Atmosphere commit history (development stages, §6.3)",
+		Rows: []Row{
+			{Name: "v1: process manager + page allocator (1 person)", Value: 2, Paper: 2, Unit: "months"},
+			{Name: "v2: pointer-centric + flat permissions (2 people)", Value: 8, Paper: 8, Unit: "months"},
+			{Name: "v3: revocation, superpages, NI proofs (1 person, 50% reuse)", Value: 4, Paper: 4, Unit: "months"},
+			{Name: "total effort", Value: 2.5, Paper: 2.5, Unit: "person-years"},
+			{Name: "verified-code effort", Value: 1.5, Paper: 1.5, Unit: "person-years"},
+		},
+		Notes: []string{"static reference data from §6.3 (a development-history figure cannot be re-measured)"},
+	}, nil
+}

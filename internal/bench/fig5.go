@@ -1,0 +1,76 @@
+package bench
+
+import (
+	"atmosphere/internal/baselines"
+	"atmosphere/internal/drivers"
+	"atmosphere/internal/nvme"
+)
+
+// storageIOs is the per-configuration IO budget.
+const storageIOs = 2048
+
+// Fig5NvmePerformance reproduces Figure 5: 4 KiB sequential read and
+// write IOPS for Linux (fio/libaio), SPDK, and the Atmosphere driver
+// configurations at batch sizes 1 and 32.
+func Fig5NvmePerformance() (Result, error) {
+	res := Result{
+		ID:    "fig5",
+		Title: "NVMe driver performance, 4KiB sequential (IOPS)",
+	}
+	add := func(name string, v, paper float64) {
+		res.Rows = append(res.Rows, Row{Name: name, Value: v, Paper: paper, Unit: "IOPS"})
+	}
+	// Reads.
+	add("read linux-b1", baselines.LinuxFioIOPS(true, 1), 13_000)
+	add("read linux-b32", baselines.LinuxFioIOPS(true, 32), 141_000)
+	add("read spdk-b1", baselines.SPDKIOPS(true, 1), 0)
+	add("read spdk-b32", baselines.SPDKIOPS(true, 32), 0)
+	type cfgCase struct {
+		name  string
+		cfg   drivers.NetConfig
+		op    byte
+		batch int
+		paper float64
+	}
+	cases := []cfgCase{
+		{"read atmo-driver-b1", drivers.CfgDriverLinked, nvme.OpRead, 1, 0},
+		{"read atmo-driver-b32", drivers.CfgDriverLinked, nvme.OpRead, 32, 0},
+		{"read atmo-c2-b32", drivers.CfgC2, nvme.OpRead, 32, 0},
+		{"read atmo-c1-b1", drivers.CfgC1, nvme.OpRead, 1, 0},
+		{"read atmo-c1-b32", drivers.CfgC1, nvme.OpRead, 32, 0},
+	}
+	for _, c := range cases {
+		env, err := drivers.NewStorageEnv(c.cfg, 4096, 64)
+		if err != nil {
+			return res, err
+		}
+		rates, err := env.RunSequential(c.op, storageIOs, c.batch)
+		if err != nil {
+			return res, err
+		}
+		add(c.name, rates.IOPS, c.paper)
+	}
+	// Writes.
+	add("write linux-b32", baselines.LinuxFioIOPS(false, 32), 248_000)
+	add("write spdk-b32", baselines.SPDKIOPS(false, 32), 0)
+	wcases := []cfgCase{
+		{"write atmo-driver-b32", drivers.CfgDriverLinked, nvme.OpWrite, 32, 232_000},
+		{"write atmo-c2-b32", drivers.CfgC2, nvme.OpWrite, 32, 232_000},
+		{"write atmo-c1-b32", drivers.CfgC1, nvme.OpWrite, 32, 232_000},
+	}
+	for _, c := range wcases {
+		env, err := drivers.NewStorageEnv(c.cfg, 4096, 64)
+		if err != nil {
+			return res, err
+		}
+		rates, err := env.RunSequential(c.op, storageIOs, c.batch)
+		if err != nil {
+			return res, err
+		}
+		add(c.name, rates.IOPS, c.paper)
+	}
+	res.Notes = append(res.Notes,
+		"device envelope: 460K read / 256K write IOPS, 76us read latency (P3700)",
+		"paper: SPDK and atmo reach max device read performance; atmo writes carry a 10% overhead (232K)")
+	return res, nil
+}

@@ -1,0 +1,100 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	"atmosphere/internal/verify"
+)
+
+// Table1ProofEffort reproduces Table 1: proof-to-code ratios across
+// verification projects. The other systems' ratios are the paper's
+// reported reference data; Atmosphere's row is measured from this
+// repository's own source tree (specification + checker lines vs.
+// executable kernel lines — the roles the substitution maps onto
+// Verus proof and exec code).
+func Table1ProofEffort() (Result, error) {
+	res := Result{
+		ID:    "table1",
+		Title: "Proof effort for existing verification projects (proof:code ratio)",
+		Rows: []Row{
+			{Name: "seL4 (C+Asm, Isabelle/HOL)", Value: 0, Paper: 20.0, Unit: "ratio"},
+			{Name: "CertiKOS (C+Asm, Coq)", Value: 0, Paper: 14.9, Unit: "ratio"},
+			{Name: "SeKVM (C+Asm, Coq)", Value: 0, Paper: 6.9, Unit: "ratio"},
+			{Name: "Ironclad (Dafny)", Value: 0, Paper: 4.8, Unit: "ratio"},
+			{Name: "NrOS (Rust, Verus)", Value: 0, Paper: 10.0, Unit: "ratio"},
+			{Name: "VeriSMo (Rust, Verus)", Value: 0, Paper: 2.0, Unit: "ratio"},
+		},
+	}
+	root, ok := moduleRoot()
+	if !ok {
+		res.Notes = append(res.Notes, "module root not found; Atmosphere row omitted")
+		return res, nil
+	}
+	stats, err := verify.CountLoC(root)
+	if err != nil {
+		return res, err
+	}
+	res.Rows = append(res.Rows, Row{
+		Name:  "Atmosphere (this repo: spec+checker vs exec)",
+		Value: stats.Ratio(), Paper: 3.32, Unit: "ratio",
+	})
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("this repo: %d proof-role lines, %d exec-role lines (paper: 20.1K proof, 6K exec)",
+			stats.Proof, stats.Exec))
+	return res, nil
+}
+
+func moduleRoot() (string, bool) {
+	wd, err := os.Getwd()
+	if err != nil {
+		return "", false
+	}
+	return verify.FindModuleRoot(wd)
+}
+
+// Table2VerificationTime reproduces Table 2: full-system verification
+// time with 1 and 8 workers, plus the page-table subsystem alone. The
+// measured values are the obligation suite's running times — the
+// substitution's stand-in for SMT solving — with the paper's Verus
+// timings alongside.
+func Table2VerificationTime() (Result, error) {
+	obls := verify.Obligations()
+	_, seq, err := verify.RunObligations(obls, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	_, par, err := verify.RunObligations(obls, 8)
+	if err != nil {
+		return Result{}, err
+	}
+	var ptObls []verify.Obligation
+	for _, o := range obls {
+		if o.Module == "page_table" {
+			ptObls = append(ptObls, o)
+		}
+	}
+	_, ptSeq, err := verify.RunObligations(ptObls, 1)
+	if err != nil {
+		return Result{}, err
+	}
+	root, _ := moduleRoot()
+	stats, _ := verify.CountLoC(root)
+	return Result{
+		ID:    "table2",
+		Title: "Verification time (obligation suite vs Verus on c220g5)",
+		Rows: []Row{
+			{Name: "atmosphere 1 thread", Value: seq.Seconds(), Paper: 209, Unit: "s (paper 3m29s)"},
+			{Name: "atmosphere 8 threads", Value: par.Seconds(), Paper: 67, Unit: "s (paper 1m7s)"},
+			{Name: "atmo page table 1 thread", Value: ptSeq.Seconds(), Paper: 33, Unit: "s"},
+			{Name: "proof lines", Value: float64(stats.Proof), Paper: 20098, Unit: "LoC"},
+			{Name: "exec lines", Value: float64(stats.Exec), Paper: 6048, Unit: "LoC"},
+			{Name: "proof/exec ratio", Value: stats.Ratio(), Paper: 3.32, Unit: "ratio"},
+		},
+		Notes: []string{
+			fmt.Sprintf("%d obligations; host GOMAXPROCS=%d (parallel speedup requires multi-core host)", len(obls), runtime.GOMAXPROCS(0)),
+			"absolute times differ from Verus/Z3 by design; the 1-vs-8-thread and subsystem shapes are the comparison",
+		},
+	}, nil
+}

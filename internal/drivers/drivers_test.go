@@ -1,0 +1,326 @@
+package drivers
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/netproto"
+	"atmosphere/internal/nic"
+	"atmosphere/internal/nvme"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/verify"
+)
+
+func TestIxgbeLinkedRx(t *testing.T) {
+	gen := nic.NewGenerator(1, 16, 60)
+	env, err := NewNetEnv(CfgDriverLinked, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := 0
+	rates, err := env.RunRx(1024, 32, func(clk *hw.Clock, frame []byte) bool {
+		if _, err := netproto.ParseUDP(frame); err == nil {
+			parsed++
+		}
+		clk.Charge(50)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Packets != 1024 || parsed != 1024 {
+		t.Fatalf("packets=%d parsed=%d", rates.Packets, parsed)
+	}
+	if rates.Mpps <= 0 {
+		t.Fatal("no rate computed")
+	}
+	if env.Dev.Faults != 0 {
+		t.Fatalf("%d DMA faults", env.Dev.Faults)
+	}
+	// The kernel is still well-formed after driver setup and traffic.
+	if err := verify.TotalWF(env.K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIxgbeC2Pipelined(t *testing.T) {
+	gen := nic.NewGenerator(2, 16, 60)
+	env, err := NewNetEnv(CfgC2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed := 0
+	rates, err := env.RunRx(512, 32, func(clk *hw.Clock, frame []byte) bool {
+		if _, err := netproto.ParseUDP(frame); err == nil {
+			parsed++
+		}
+		clk.Charge(50)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Packets != 512 || parsed != 512 {
+		t.Fatalf("packets=%d parsed=%d", rates.Packets, parsed)
+	}
+	if rates.DrvCycles == 0 || rates.AppCycles == 0 {
+		t.Fatal("one pipeline stage charged nothing")
+	}
+	if err := verify.TotalWF(env.K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIxgbeC1KernelCrossings(t *testing.T) {
+	gen := nic.NewGenerator(3, 16, 60)
+	env, err := NewNetEnv(CfgC1, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := env.RunRx(256, 1, func(clk *hw.Clock, frame []byte) bool {
+		clk.Charge(50)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Packets != 256 {
+		t.Fatalf("packets=%d", rates.Packets)
+	}
+	// Batch-1 pays kernel crossings per packet: its per-packet cost is
+	// much larger than the linked configuration's.
+	linked, err := NewNetEnv(CfgDriverLinked, nic.NewGenerator(3, 16, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, err := linked.RunRx(256, 1, func(clk *hw.Clock, frame []byte) bool {
+		clk.Charge(50)
+		return false
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.Mpps >= lr.Mpps {
+		t.Fatalf("c1-b1 (%.2f) should be slower than linked (%.2f)", rates.Mpps, lr.Mpps)
+	}
+	if err := verify.TotalWF(env.K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIxgbeBatchingHelps(t *testing.T) {
+	run := func(batch int) float64 {
+		env, err := NewNetEnv(CfgC1, nic.NewGenerator(4, 16, 60))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rates, err := env.RunRx(512, batch, func(clk *hw.Clock, frame []byte) bool {
+			clk.Charge(50)
+			return false
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rates.Mpps
+	}
+	b1, b32 := run(1), run(32)
+	if b32 <= b1*2 {
+		t.Fatalf("batching ineffective: b1=%.2f b32=%.2f", b1, b32)
+	}
+}
+
+func TestIxgbeForwarding(t *testing.T) {
+	gen := nic.NewGenerator(5, 16, 60)
+	env, err := NewNetEnv(CfgDriverLinked, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sent int
+	env.Dev.TxSink = func(frame []byte) { sent++ }
+	_, err = env.RunRx(128, 16, func(clk *hw.Clock, frame []byte) bool {
+		clk.Charge(100)
+		return true // forward everything
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 128 {
+		t.Fatalf("forwarded %d of 128", sent)
+	}
+}
+
+func TestNvmeLinkedReadWrite(t *testing.T) {
+	env, err := NewStorageEnv(CfgDriverLinked, 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rates, err := env.RunSequential(nvme.OpRead, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rates.IOs != 512 || rates.IOPS <= 0 {
+		t.Fatalf("rates %+v", rates)
+	}
+	w, err := env.RunSequential(nvme.OpWrite, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes cap at the device's derated ceiling.
+	if w.IOPS > nvme.WriteMaxIOPS {
+		t.Fatalf("write IOPS %f beyond device max", w.IOPS)
+	}
+	if env.Dev.Faults != 0 {
+		t.Fatalf("%d DMA faults", env.Dev.Faults)
+	}
+	if err := verify.TotalWF(env.K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNvmeBatch1IsLatencyBound(t *testing.T) {
+	env, err := NewStorageEnv(CfgDriverLinked, 2048, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := env.RunSequential(nvme.OpRead, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QD1 reads bound near 13K IOPS (the paper's fio number).
+	if r1.IOPS < 10_000 || r1.IOPS > 16_000 {
+		t.Fatalf("QD1 read IOPS = %.0f, want ~13K", r1.IOPS)
+	}
+	r32, err := env.RunSequential(nvme.OpRead, 512, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r32.IOPS < r1.IOPS*10 {
+		t.Fatalf("batched reads did not scale: %.0f vs %.0f", r32.IOPS, r1.IOPS)
+	}
+}
+
+func TestNvmeC1AndC2Configs(t *testing.T) {
+	for _, cfg := range []NetConfig{CfgC2, CfgC1} {
+		env, err := NewStorageEnv(cfg, 2048, 64)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		rates, err := env.RunSequential(nvme.OpRead, 256, 32)
+		if err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+		if rates.IOs != 256 || rates.IOPS <= 0 {
+			t.Fatalf("%v rates %+v", cfg, rates)
+		}
+		if err := verify.TotalWF(env.K); err != nil {
+			t.Fatalf("%v: %v", cfg, err)
+		}
+	}
+}
+
+func TestNvmeDataIntegrityThroughDriver(t *testing.T) {
+	env, err := NewStorageEnv(CfgDriverLinked, 2048, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Write a pattern through the driver, then read it back.
+	mem := env.K.Machine.Mem
+	mem.Write(env.Drv.BufPhys(0), []byte("block-zero"))
+	if err := env.Drv.SubmitBatch(nvme.OpWrite, 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	if env.Drv.PollCompletions(1) != 1 {
+		t.Fatal("write completion missing")
+	}
+	// Clear the next buffer slot and read back into it.
+	if err := env.Drv.SubmitBatch(nvme.OpRead, 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	if env.Drv.PollCompletions(1) != 1 {
+		t.Fatal("read completion missing")
+	}
+	got := mem.Read(env.Drv.BufPhys(1), 10)
+	if string(got) != "block-zero" {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestInterruptDrivenRx(t *testing.T) {
+	// The interrupt-mode data path (§3's interrupt dispatch): the
+	// driver binds the NIC's IRQ to an endpoint and sleeps in irq_wait;
+	// each delivered batch raises the line and wakes it.
+	gen := nic.NewGenerator(6, 8, 60)
+	env, err := NewNetEnv(CfgDriverLinked, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := env.K
+	const nicIRQ = 32
+	if r := k.SysNewEndpoint(0, env.DrvTid, 5); r.Errno != kernel.OK {
+		t.Fatalf("endpoint: %v", r.Errno)
+	}
+	if r := k.SysIrqRegister(0, env.DrvTid, nicIRQ, 5); r.Errno != kernel.OK {
+		t.Fatalf("irq_register: %v", r.Errno)
+	}
+	env.Dev.OnRxInterrupt = func() { k.RaiseIRQ(0, nicIRQ) }
+
+	received := 0
+	for round := 0; round < 4; round++ {
+		// Driver sleeps; keep a sibling runnable so the core never
+		// empties.
+		if round == 0 {
+			if r := k.SysNewThread(0, env.DrvTid, 0); r.Errno != kernel.OK {
+				t.Fatalf("sibling: %v", r.Errno)
+			}
+		}
+		r := k.SysIrqWait(0, env.DrvTid, nicIRQ)
+		if r.Errno == kernel.EWOULDBLOCK {
+			// Asleep: traffic arrives, the interrupt wakes the driver.
+			if _, err := env.Dev.DeliverRX(8); err != nil {
+				t.Fatal(err)
+			}
+			if k.PM.Thrd(env.DrvTid).State == pm.ThreadBlockedRecv {
+				t.Fatal("interrupt did not wake the driver")
+			}
+		}
+		received += env.Drv.RxBurst(8)
+	}
+	if received == 0 {
+		t.Fatal("interrupt-driven path received nothing")
+	}
+	if err := verify.TotalWF(k); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIxgbeC2ForwardingPath(t *testing.T) {
+	// The c2 TX path: the app publishes forwarded frames on the
+	// app->driver ring; the driver drains it and transmits.
+	gen := nic.NewGenerator(9, 16, 60)
+	env, err := NewNetEnv(CfgC2, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent := 0
+	env.Dev.TxSink = func(frame []byte) {
+		if _, err := netproto.ParseUDP(frame); err != nil {
+			t.Fatalf("unparsable forwarded frame: %v", err)
+		}
+		sent++
+	}
+	_, err = env.RunRx(256, 16, func(clk *hw.Clock, frame []byte) bool {
+		clk.Charge(60)
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sent != 256 {
+		t.Fatalf("forwarded %d of 256", sent)
+	}
+	if env.Dev.TxSent != 256 {
+		t.Fatalf("device TxSent = %d", env.Dev.TxSent)
+	}
+}

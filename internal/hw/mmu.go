@@ -1,0 +1,122 @@
+package hw
+
+// MMU performs 4-level page-table walks against page tables stored in
+// simulated physical memory, exactly as the hardware memory management
+// unit would. The refinement theorem in §2 states that for each entry in
+// the kernel's abstract address-space map, a walk by this MMU resolves to
+// the same physical address and permissions; internal/verify checks that
+// property against this walker.
+type MMU struct {
+	mem *PhysMem
+}
+
+// NewMMU returns an MMU that walks tables in mem.
+func NewMMU(mem *PhysMem) *MMU { return &MMU{mem: mem} }
+
+// Translation is the result of a successful page walk.
+type Translation struct {
+	Phys     PhysAddr
+	Size     PageSize
+	Writable bool
+	User     bool
+	NX       bool
+}
+
+// Walk resolves va through the table rooted at cr3. It returns the
+// translation and true, or a zero Translation and false if the walk hits a
+// non-present entry. Walk has no side effects and charges no cycles — the
+// kernel's own software walks charge CostPTWalkLevel through their clock.
+func (u *MMU) Walk(cr3 PhysAddr, va VirtAddr) (Translation, bool) {
+	l4e := u.mem.ReadU64(cr3 + PhysAddr(L4Index(va)*PtrSize))
+	if l4e&PtePresent == 0 {
+		return Translation{}, false
+	}
+	l3 := PhysAddr(l4e & PteAddrMask)
+	l3e := u.mem.ReadU64(l3 + PhysAddr(L3Index(va)*PtrSize))
+	if l3e&PtePresent == 0 {
+		return Translation{}, false
+	}
+	if l3e&PteHuge != 0 {
+		base := l3e & PteAddrMask &^ (PageSize1G - 1)
+		return makeTranslation(base+uint64(va)&(PageSize1G-1), Size1G, l4e, l3e), true
+	}
+	l2 := PhysAddr(l3e & PteAddrMask)
+	l2e := u.mem.ReadU64(l2 + PhysAddr(L2Index(va)*PtrSize))
+	if l2e&PtePresent == 0 {
+		return Translation{}, false
+	}
+	if l2e&PteHuge != 0 {
+		base := l2e & PteAddrMask &^ (PageSize2M - 1)
+		return makeTranslation(base+uint64(va)&(PageSize2M-1), Size2M, l4e, l3e, l2e), true
+	}
+	l1 := PhysAddr(l2e & PteAddrMask)
+	l1e := u.mem.ReadU64(l1 + PhysAddr(L1Index(va)*PtrSize))
+	if l1e&PtePresent == 0 {
+		return Translation{}, false
+	}
+	base := l1e & PteAddrMask
+	return makeTranslation(base+uint64(va)&(PageSize4K-1), Size4K, l4e, l3e, l2e, l1e), true
+}
+
+// makeTranslation folds permissions along the walk: a mapping is writable
+// or user-accessible only if every level grants it, and no-execute if any
+// level sets NX — the AND/OR semantics of the x86-64 MMU.
+func makeTranslation(phys uint64, size PageSize, entries ...uint64) Translation {
+	t := Translation{Phys: PhysAddr(phys), Size: size, Writable: true, User: true}
+	for _, e := range entries {
+		if e&PteWritable == 0 {
+			t.Writable = false
+		}
+		if e&PteUser == 0 {
+			t.User = false
+		}
+		if e&PteNX != 0 {
+			t.NX = true
+		}
+	}
+	return t
+}
+
+// Load reads n bytes at virtual address va through the table at cr3,
+// failing if any page of the range is unmapped. Crossing page boundaries
+// is supported.
+func (u *MMU) Load(cr3 PhysAddr, va VirtAddr, n uint64) ([]byte, bool) {
+	out := make([]byte, 0, n)
+	for n > 0 {
+		t, ok := u.Walk(cr3, va)
+		if !ok {
+			return nil, false
+		}
+		sz := t.Size.Bytes()
+		off := uint64(t.Phys) & (sz - 1)
+		chunk := sz - off
+		if chunk > n {
+			chunk = n
+		}
+		out = append(out, u.mem.Read(t.Phys, chunk)...)
+		va += VirtAddr(chunk)
+		n -= chunk
+	}
+	return out, true
+}
+
+// Store writes src at virtual address va through the table at cr3,
+// requiring every page of the range to be mapped writable.
+func (u *MMU) Store(cr3 PhysAddr, va VirtAddr, src []byte) bool {
+	for len(src) > 0 {
+		t, ok := u.Walk(cr3, va)
+		if !ok || !t.Writable {
+			return false
+		}
+		sz := t.Size.Bytes()
+		off := uint64(t.Phys) & (sz - 1)
+		chunk := sz - off
+		if chunk > uint64(len(src)) {
+			chunk = uint64(len(src))
+		}
+		u.mem.Write(t.Phys, src[:chunk])
+		va += VirtAddr(chunk)
+		src = src[chunk:]
+	}
+	return true
+}

@@ -1,0 +1,73 @@
+package hw
+
+// TLB is a small direct-mapped translation lookaside buffer. The kernel
+// invalidates entries on unmap (invlpg) and the cycle model charges the
+// invalidation; the TLB itself exists so tests can observe that the kernel
+// issues the architecturally required invalidations (§4.2, consistency of
+// page table updates).
+type TLB struct {
+	entries []tlbEntry
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+type tlbEntry struct {
+	valid bool
+	cr3   PhysAddr
+	vpage VirtAddr
+	tr    Translation
+}
+
+// NewTLB returns a TLB with the given number of slots (rounded up to 1).
+func NewTLB(slots int) *TLB {
+	if slots < 1 {
+		slots = 1
+	}
+	return &TLB{entries: make([]tlbEntry, slots)}
+}
+
+func (t *TLB) slot(cr3 PhysAddr, vpage VirtAddr) *tlbEntry {
+	h := (uint64(vpage)>>12 ^ uint64(cr3)>>12) % uint64(len(t.entries))
+	return &t.entries[h]
+}
+
+// Lookup returns a cached translation for the page containing va.
+func (t *TLB) Lookup(cr3 PhysAddr, va VirtAddr) (Translation, bool) {
+	vpage := va &^ (PageSize4K - 1)
+	e := t.slot(cr3, vpage)
+	if e.valid && e.cr3 == cr3 && e.vpage == vpage {
+		t.hits++
+		return e.tr, true
+	}
+	t.misses++
+	return Translation{}, false
+}
+
+// Insert caches a translation for the 4 KiB page containing va.
+func (t *TLB) Insert(cr3 PhysAddr, va VirtAddr, tr Translation) {
+	vpage := va &^ (PageSize4K - 1)
+	*t.slot(cr3, vpage) = tlbEntry{valid: true, cr3: cr3, vpage: vpage, tr: tr}
+}
+
+// Invalidate drops any entry for the page containing va (invlpg).
+func (t *TLB) Invalidate(cr3 PhysAddr, va VirtAddr) {
+	vpage := va &^ (PageSize4K - 1)
+	e := t.slot(cr3, vpage)
+	if e.valid && e.cr3 == cr3 && e.vpage == vpage {
+		e.valid = false
+	}
+}
+
+// Flush drops everything (CR3 reload without PCID).
+func (t *TLB) Flush() {
+	for i := range t.entries {
+		t.entries[i].valid = false
+	}
+	t.flushes++
+}
+
+// Stats returns hit, miss, and flush counts.
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}

@@ -1,0 +1,93 @@
+package kernel
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/pt"
+)
+
+// Host-time microbenchmarks of the syscall layer (the simulated-cycle
+// results live in internal/bench; these measure the implementation
+// itself).
+
+func benchBoot(b *testing.B) (*Kernel, pm.Ptr) {
+	b.Helper()
+	k, init, err := Boot(hw.Config{Frames: 8192, Cores: 2, TLBSlots: 256})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return k, init
+}
+
+func BenchmarkSysMmapMunmap(b *testing.B) {
+	k, init := benchBoot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := k.SysMmap(0, init, 0x400000, 1, hw.Size4K, pt.RW); r.Errno != OK {
+			b.Fatal(r.Errno)
+		}
+		if r := k.SysMunmap(0, init, 0x400000, 1, hw.Size4K); r.Errno != OK {
+			b.Fatal(r.Errno)
+		}
+	}
+}
+
+func BenchmarkSysCallReply(b *testing.B) {
+	k, init := benchBoot(b)
+	r := k.SysNewThread(0, init, 0)
+	server := pm.Ptr(r.Vals[0])
+	re := k.SysNewEndpoint(0, init, 0)
+	k.PM.Thrd(server).Endpoints[0] = pm.Ptr(re.Vals[0])
+	k.PM.EndpointIncRef(pm.Ptr(re.Vals[0]), 1)
+	if r := k.SysRecv(0, server, 0, RecvArgs{EdptSlot: -1}); r.Errno != EWOULDBLOCK {
+		b.Fatal(r.Errno)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := k.SysCall(0, init, 0, SendArgs{}); r.Errno != EWOULDBLOCK {
+			b.Fatal(r.Errno)
+		}
+		if r := k.SysReplyRecv(0, server, 0, SendArgs{}, RecvArgs{EdptSlot: -1}); r.Errno != EWOULDBLOCK {
+			b.Fatal(r.Errno)
+		}
+	}
+}
+
+func BenchmarkSysYield(b *testing.B) {
+	k, init := benchBoot(b)
+	k.SysNewThread(0, init, 0)
+	cur := init
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := k.SysYield(0, cur); r.Errno != OK {
+			b.Fatal(r.Errno)
+		}
+		cur = k.PM.Sched().Current(0)
+	}
+}
+
+func BenchmarkContainerLifecycle(b *testing.B) {
+	k, init := benchBoot(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := k.SysNewContainer(0, init, 20, []int{0})
+		if r.Errno != OK {
+			b.Fatal(r.Errno)
+		}
+		if r := k.SysKillContainer(0, init, pm.Ptr(r.Vals[0])); r.Errno != OK {
+			b.Fatal(r.Errno)
+		}
+	}
+}
+
+func BenchmarkRaiseIRQPended(b *testing.B) {
+	k, init := benchBoot(b)
+	k.SysNewEndpoint(0, init, 0)
+	k.SysIrqRegister(0, init, 9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.RaiseIRQ(0, 9)
+	}
+}

@@ -1,0 +1,161 @@
+package kernel
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/pm"
+)
+
+// buildVictim creates a container with nested children, processes,
+// threads, mappings, and an endpoint — a subtree with every kind of
+// teardown work.
+func buildVictim(t *testing.T, k *Kernel, init pm.Ptr) (cntr pm.Ptr, victimThread pm.Ptr) {
+	t.Helper()
+	r := mustOK(t, k.SysNewContainer(0, init, 300, []int{0}))
+	cntr = pm.Ptr(r.Vals[0])
+	rp := mustOK(t, k.SysNewProcessIn(0, init, cntr))
+	proc := pm.Ptr(rp.Vals[0])
+	rt := mustOK(t, k.SysNewThreadIn(0, init, proc, 0))
+	victimThread = pm.Ptr(rt.Vals[0])
+	mustOK(t, k.SysMmap(0, victimThread, 0x400000, 10, hw.Size4K, ptRW()))
+	mustOK(t, k.SysNewEndpoint(0, victimThread, 0))
+	mustOK(t, k.SysIommuCreateDomain(0, victimThread))
+	mustOK(t, k.SysIommuMap(0, victimThread, 0x400000))
+	// A nested child container with its own process.
+	rc := mustOK(t, k.SysNewContainer(0, victimThread, 40, []int{0}))
+	rcp := mustOK(t, k.SysNewProcessIn(0, victimThread, pm.Ptr(rc.Vals[0])))
+	mustOK(t, k.SysNewThreadIn(0, victimThread, pm.Ptr(rcp.Vals[0]), 0))
+	return cntr, victimThread
+}
+
+func TestIterativeKillCompletes(t *testing.T) {
+	k, init := boot(t)
+	free := k.Alloc.FreeCount4K()
+	rootUsed := k.PM.Cntr(k.PM.RootContainer).UsedPages
+	cntr, _ := buildVictim(t, k, init)
+	steps := 0
+	for {
+		r := k.SysKillContainerBounded(0, init, cntr, 3)
+		steps++
+		if r.Errno == OK {
+			break
+		}
+		if r.Errno != EAGAIN {
+			t.Fatalf("bounded kill: %v", r.Errno)
+		}
+		if steps > 200 {
+			t.Fatal("iterative kill does not terminate")
+		}
+	}
+	if steps < 5 {
+		t.Fatalf("kill finished in %d steps — budget not bounding", steps)
+	}
+	if _, alive := k.PM.TryCntr(cntr); alive {
+		t.Fatal("container survived")
+	}
+	if got := k.Alloc.FreeCount4K(); got != free {
+		t.Fatalf("pages leaked: %d != %d", got, free)
+	}
+	if got := k.PM.Cntr(k.PM.RootContainer).UsedPages; got != rootUsed {
+		t.Fatalf("quota not harvested: %d != %d", got, rootUsed)
+	}
+}
+
+func TestIterativeKillFreezesVictims(t *testing.T) {
+	k, init := boot(t)
+	cntr, victim := buildVictim(t, k, init)
+	// One bounded step freezes the subtree.
+	if r := k.SysKillContainerBounded(0, init, cntr, 1); r.Errno != EAGAIN {
+		t.Fatalf("first step: %v", r.Errno)
+	}
+	// The frozen thread can no longer issue syscalls.
+	if r := k.SysMmap(0, victim, 0x900000, 1, hw.Size4K, ptRW()); r.Errno != EINVAL {
+		t.Fatalf("frozen thread syscall: %v", r.Errno)
+	}
+	if r := k.SysYield(0, victim); r.Errno != EINVAL {
+		t.Fatalf("frozen thread yield: %v", r.Errno)
+	}
+	// Threads outside the subtree are unaffected.
+	mustOK(t, k.SysYield(0, init))
+}
+
+func TestIterativeKillPermissionChecks(t *testing.T) {
+	k, init := boot(t)
+	cntr, victim := buildVictim(t, k, init)
+	// The victim cannot iteratively kill its own container.
+	if r := k.SysKillContainerBounded(0, victim, cntr, 4); r.Errno != EPERM {
+		t.Fatalf("self kill: %v", r.Errno)
+	}
+	if r := k.SysKillContainerBounded(0, init, pm.Ptr(0xabc000), 4); r.Errno != ENOENT {
+		t.Fatalf("ghost kill: %v", r.Errno)
+	}
+	if r := k.SysKillContainerBounded(0, init, cntr, 0); r.Errno != EINVAL {
+		t.Fatalf("zero budget: %v", r.Errno)
+	}
+}
+
+func TestIterativeKillBoundsLockHoldTime(t *testing.T) {
+	// The point of the extension (§4.3): per-invocation cycle cost is
+	// bounded by the budget, not by the subtree size.
+	k, init := boot(t)
+	cntrSmall, _ := buildVictim(t, k, init)
+	// Measure one bounded step on the small victim.
+	before := k.Machine.Core(0).Clock.Cycles()
+	if r := k.SysKillContainerBounded(0, init, cntrSmall, 1); r.Errno != EAGAIN {
+		t.Fatalf("step: %v", r.Errno)
+	}
+	stepSmall := k.Machine.Core(0).Clock.Cycles() - before
+
+	// A much larger victim: one bounded step costs the same order.
+	r := mustOK(t, k.SysNewContainer(0, init, 900, []int{0}))
+	cntrBig := pm.Ptr(r.Vals[0])
+	rp := mustOK(t, k.SysNewProcessIn(0, init, cntrBig))
+	rt := mustOK(t, k.SysNewThreadIn(0, init, pm.Ptr(rp.Vals[0]), 0))
+	big := pm.Ptr(rt.Vals[0])
+	mustOK(t, k.SysMmap(0, big, 0x400000, 400, hw.Size4K, ptRW()))
+	before = k.Machine.Core(0).Clock.Cycles()
+	if r := k.SysKillContainerBounded(0, init, cntrBig, 1); r.Errno != EAGAIN {
+		t.Fatalf("big step: %v", r.Errno)
+	}
+	stepBig := k.Machine.Core(0).Clock.Cycles() - before
+	if stepBig > stepSmall*20 {
+		t.Fatalf("bounded step scaled with subtree: %d vs %d cycles", stepBig, stepSmall)
+	}
+}
+
+func TestUnboundedKillClearsStaleFreeze(t *testing.T) {
+	k, init := boot(t)
+	cntr, _ := buildVictim(t, k, init)
+	if r := k.SysKillContainerBounded(0, init, cntr, 2); r.Errno != EAGAIN {
+		t.Fatalf("step: %v", r.Errno)
+	}
+	// Finish with the unbounded kill: freeze entries must be cleaned,
+	// so later probes see a plain missing container.
+	mustOK(t, k.SysKillContainer(0, init, cntr))
+	if r := k.SysKillContainerBounded(0, init, cntr, 1); r.Errno != ENOENT {
+		t.Fatalf("post-kill probe: %v", r.Errno)
+	}
+}
+
+// BenchmarkKillLatency compares the big-lock hold time of the unbounded
+// kill against one bounded step as the subtree grows — the §4.3 timing
+// argument for the iterative design, in simulated cycles.
+func BenchmarkKillLatency(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k, init, err := Boot(hw.Config{Frames: 8192, Cores: 1, TLBSlots: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		r := k.SysNewContainer(0, init, 2000, []int{0})
+		cntr := pm.Ptr(r.Vals[0])
+		rp := k.SysNewProcessIn(0, init, cntr)
+		rt := k.SysNewThreadIn(0, init, pm.Ptr(rp.Vals[0]), 0)
+		k.SysMmap(0, pm.Ptr(rt.Vals[0]), 0x400000, 1000, hw.Size4K, ptRW())
+
+		before := k.Machine.Core(0).Clock.Cycles()
+		k.SysKillContainer(0, init, cntr)
+		unbounded := k.Machine.Core(0).Clock.Cycles() - before
+		b.ReportMetric(float64(unbounded), "unbounded-kill-cycles")
+	}
+}

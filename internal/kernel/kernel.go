@@ -1,0 +1,235 @@
+// Package kernel implements the Atmosphere microkernel proper: the
+// big-lock syscall layer over the process manager, page allocator, page
+// tables, and IOMMU (§3).
+//
+// Every syscall follows the same shape as the paper's verified functions:
+// validate arguments against the caller's authority, perform the state
+// transition, and keep the ghost/abstract state in lock-step with the
+// concrete state. internal/spec defines the executable postcondition of
+// each syscall; internal/verify checks them, together with the global
+// well-formedness invariants, after every transition.
+package kernel
+
+import (
+	"errors"
+	"sync"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/iommu"
+	"atmosphere/internal/mem"
+	"atmosphere/internal/pm"
+)
+
+// Errno is the syscall status delivered to user code.
+type Errno int
+
+// Syscall status codes.
+const (
+	OK Errno = iota
+	EINVAL
+	ENOMEM
+	EQUOTA
+	EPERM
+	EALREADY
+	ENOENT
+	EWOULDBLOCK
+	EDEADOBJ
+	EAGAIN
+)
+
+// String implements fmt.Stringer.
+func (e Errno) String() string {
+	switch e {
+	case OK:
+		return "OK"
+	case EINVAL:
+		return "EINVAL"
+	case ENOMEM:
+		return "ENOMEM"
+	case EQUOTA:
+		return "EQUOTA"
+	case EPERM:
+		return "EPERM"
+	case EALREADY:
+		return "EALREADY"
+	case ENOENT:
+		return "ENOENT"
+	case EWOULDBLOCK:
+		return "EWOULDBLOCK"
+	case EDEADOBJ:
+		return "EDEADOBJ"
+	case EAGAIN:
+		return "EAGAIN"
+	}
+	return "E?"
+}
+
+// ErrEndpointDead is delivered to threads woken because the endpoint they
+// were blocked on was destroyed with its owning container.
+var ErrEndpointDead = errors.New("kernel: endpoint destroyed")
+
+// Ret is the SyscallReturnStruct of the paper: status plus up to four
+// scalar return values.
+type Ret struct {
+	Errno Errno
+	Vals  [4]uint64
+}
+
+func ok(vals ...uint64) Ret {
+	var r Ret
+	copy(r.Vals[:], vals)
+	return r
+}
+
+func fail(e Errno) Ret { return Ret{Errno: e} }
+
+// Kernel is one booted Atmosphere instance.
+type Kernel struct {
+	Machine *hw.Machine
+	Alloc   *mem.Allocator
+	PM      *pm.ProcessManager
+	IOMMU   *iommu.IOMMU
+
+	// big lock: all syscalls and interrupts serialize (§3).
+	big sync.Mutex
+
+	// kclock is the clock substrates charge to; syscall exit moves the
+	// delta onto the invoking core's clock.
+	kclock *hw.Clock
+
+	// irqs maps bound interrupt lines to their notification endpoints.
+	irqs map[int]*irqState
+
+	// dying marks containers frozen by an in-progress iterative kill;
+	// their threads cannot enter the kernel (iterkill.go).
+	dying map[pm.Ptr]bool
+
+	// Hooks let the verifier observe every transition (nil in
+	// benchmarks; charged nothing).
+	PostSyscall func(name string, caller pm.Ptr, ret Ret)
+}
+
+// Boot creates a machine, allocator, IOMMU, process manager with a root
+// container holding every non-reserved page, plus an initial process and
+// thread on core 0 (the init thread).
+func Boot(cfg hw.Config) (*Kernel, pm.Ptr, error) {
+	machine := hw.NewMachine(cfg)
+	kclock := &hw.Clock{}
+	alloc := mem.NewAllocator(machine.Mem, kclock, 1)
+	k := &Kernel{Machine: machine, Alloc: alloc, kclock: kclock}
+	iom, err := iommu.New(alloc, kclock)
+	if err != nil {
+		return nil, 0, err
+	}
+	k.IOMMU = iom
+	// Root quota: everything the allocator can hand out, minus the
+	// IOMMU root page already taken.
+	// (its own object page is the first page it consumes).
+	quota := uint64(alloc.FreeCount4K())
+	p, err := pm.New(alloc, kclock, cfg.Cores, quota)
+	if err != nil {
+		return nil, 0, err
+	}
+	k.PM = p
+	initProc, err := p.NewProcess(p.RootContainer, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	initThread, err := p.NewThread(initProc, 0)
+	if err != nil {
+		return nil, 0, err
+	}
+	p.Dispatch(initThread)
+	return k, initThread, nil
+}
+
+// enter charges syscall entry, the slowpath dispatcher, and the big
+// lock; the returned leave function charges exit and attributes the
+// syscall's cycles to core.
+func (k *Kernel) enter(core int) (leave func()) {
+	return k.enterWith(core, hw.CostSyscallEntry+hw.CostSyscallDispatch+hw.CostBigLock)
+}
+
+// enterFast is the IPC fastpath prologue: no dispatcher (arguments stay
+// in registers end to end, as in seL4's fastpath).
+func (k *Kernel) enterFast(core int) (leave func()) {
+	return k.enterWith(core, hw.CostSyscallEntry+hw.CostBigLock)
+}
+
+func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
+	k.big.Lock()
+	start := k.kclock.Cycles()
+	k.kclock.Charge(entryCost)
+	return func() {
+		k.kclock.Charge(hw.CostSyscallExit)
+		delta := k.kclock.Cycles() - start
+		k.Machine.Core(core).Clock.Charge(delta)
+		k.big.Unlock()
+	}
+}
+
+// callerThread validates the invoking thread pointer. A blocked thread
+// cannot be executing user code, so a syscall from one is rejected (it
+// would otherwise end up queued on two endpoints at once); so is a
+// thread whose container is frozen by an in-progress iterative kill.
+func (k *Kernel) callerThread(tid pm.Ptr) (*pm.Thread, bool) {
+	t, okk := k.PM.TryThrd(tid)
+	if !okk || t.State == pm.ThreadExited ||
+		t.State == pm.ThreadBlockedSend || t.State == pm.ThreadBlockedRecv {
+		return nil, false
+	}
+	if k.frozen(t) {
+		return nil, false
+	}
+	return t, true
+}
+
+func (k *Kernel) post(name string, caller pm.Ptr, ret Ret) Ret {
+	if k.PostSyscall != nil {
+		k.PostSyscall(name, caller, ret)
+	}
+	return ret
+}
+
+// errnoOf maps internal errors onto user-visible status codes.
+func errnoOf(err error) Errno {
+	switch {
+	case err == nil:
+		return OK
+	case errors.Is(err, pm.ErrQuotaExceeded):
+		return EQUOTA
+	case errors.Is(err, mem.ErrOutOfMemory):
+		return ENOMEM
+	case errors.Is(err, pm.ErrBadCPU):
+		return EINVAL
+	case errors.Is(err, ErrEndpointDead):
+		return EDEADOBJ
+	default:
+		return EINVAL
+	}
+}
+
+// SysYield rotates the caller's core to the next runnable thread.
+func (k *Kernel) SysYield(core int, tid pm.Ptr) Ret {
+	defer k.enter(core)()
+	if _, okk := k.callerThread(tid); !okk {
+		return k.post("yield", tid, fail(EINVAL))
+	}
+	k.kclock.Charge(hw.CostContextSwitch)
+	k.PM.PickNext(core)
+	return k.post("yield", tid, ok())
+}
+
+// unblockForTest force-wakes a blocked thread, unlinking it from its
+// endpoint queue and dropping any in-flight message references. Only
+// tests use it (the simulation has no timer to time out rendezvous).
+func (k *Kernel) unblockForTest(tid pm.Ptr) {
+	k.big.Lock()
+	defer k.big.Unlock()
+	t, okk := k.PM.TryThrd(tid)
+	if !okk || (t.State != pm.ThreadBlockedSend && t.State != pm.ThreadBlockedRecv) {
+		return
+	}
+	k.unlinkFromEndpoint(tid, t)
+	k.PM.Wake(tid, ErrEndpointDead)
+}

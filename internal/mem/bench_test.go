@@ -1,0 +1,75 @@
+package mem
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+)
+
+func benchAlloc(b *testing.B, frames int) *Allocator {
+	b.Helper()
+	m := hw.NewPhysMem(frames)
+	var clk hw.Clock
+	return NewAllocator(m, &clk, 1)
+}
+
+func BenchmarkAllocFree4K(b *testing.B) {
+	a := benchAlloc(b, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.AllocPage4K(OwnerProcessMgr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.FreePage(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUserPageRefCycle(b *testing.B) {
+	a := benchAlloc(b, 1024)
+	p, err := a.AllocUserPage4K()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := a.IncRef(p); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := a.DecRef(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMerge2MSplit(b *testing.B) {
+	a := benchAlloc(b, 2*hw.Pages4KPer2M)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := a.Merge2M()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := a.Split(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSnapshot(b *testing.B) {
+	a := benchAlloc(b, 4096)
+	for i := 0; i < 512; i++ {
+		if _, err := a.AllocPage4K(OwnerProcessMgr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := a.Snapshot()
+		if s.Allocated.Len() < 512 {
+			b.Fatal("snapshot lost pages")
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package mem implements Atmosphere's physical page allocator (§4.2):
+// a page metadata array covering every 4 KiB frame, three doubly-linked
+// free lists (4 KiB, 2 MiB, 1 GiB) with constant-time unlink via back
+// pointers stored in the metadata array, superpage merge and split, and
+// the four-state page lifecycle (free, mapped, merged, allocated).
+//
+// The allocator exposes its internal state explicitly — the sets of free,
+// allocated, mapped, and merged pages — because the paper's leak-freedom
+// and non-interference arguments require exact knowledge of all memory in
+// the system ("Explicit memory allocator state", §4.2). internal/verify
+// checks those sets against the metadata array and against the
+// page_closure() of every subsystem after every kernel transition.
+package mem
+
+import (
+	"sort"
+
+	"atmosphere/internal/hw"
+)
+
+// PageSet is a set of physical page addresses. It is the currency of the
+// paper's page_closure() reasoning: each subsystem reports the set of
+// pages it owns, and the verifier checks pairwise disjointness and that
+// the union of all closures plus the free set covers physical memory.
+type PageSet map[hw.PhysAddr]struct{}
+
+// NewPageSet returns a set containing the given pages.
+func NewPageSet(pages ...hw.PhysAddr) PageSet {
+	s := make(PageSet, len(pages))
+	for _, p := range pages {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Insert adds p to the set.
+func (s PageSet) Insert(p hw.PhysAddr) { s[p] = struct{}{} }
+
+// Remove deletes p from the set.
+func (s PageSet) Remove(p hw.PhysAddr) { delete(s, p) }
+
+// Contains reports membership.
+func (s PageSet) Contains(p hw.PhysAddr) bool {
+	_, ok := s[p]
+	return ok
+}
+
+// Len returns the cardinality.
+func (s PageSet) Len() int { return len(s) }
+
+// Clone returns a copy of the set.
+func (s PageSet) Clone() PageSet {
+	out := make(PageSet, len(s))
+	for p := range s {
+		out[p] = struct{}{}
+	}
+	return out
+}
+
+// Union adds every element of other to s and returns s.
+func (s PageSet) Union(other PageSet) PageSet {
+	for p := range other {
+		s[p] = struct{}{}
+	}
+	return s
+}
+
+// Disjoint reports whether s and other share no element.
+func (s PageSet) Disjoint(other PageSet) bool {
+	small, large := s, other
+	if len(large) < len(small) {
+		small, large = large, small
+	}
+	for p := range small {
+		if large.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether s and other contain exactly the same pages.
+func (s PageSet) Equal(other PageSet) bool {
+	if len(s) != len(other) {
+		return false
+	}
+	for p := range s {
+		if !other.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subset reports whether every element of s is in other.
+func (s PageSet) Subset(other PageSet) bool {
+	if len(s) > len(other) {
+		return false
+	}
+	for p := range s {
+		if !other.Contains(p) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sorted returns the elements in ascending order (for deterministic
+// iteration and error messages).
+func (s PageSet) Sorted() []hw.PhysAddr {
+	out := make([]hw.PhysAddr, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,79 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+)
+
+// Minimal HTTP/1.1 for the httpd evaluation (§6.6): request-line parsing
+// and static responses, enough to serve wrk-style load.
+
+// HTTPRequest is a parsed request line plus headers of interest.
+type HTTPRequest struct {
+	Method    string
+	Path      string
+	KeepAlive bool
+}
+
+// ErrBadRequest reports an unparsable request.
+var ErrBadRequest = errors.New("netproto: bad HTTP request")
+
+var (
+	crlf       = []byte("\r\n")
+	connClose  = []byte("Connection: close")
+	httpSuffix = []byte(" HTTP/1.1")
+)
+
+// ParseHTTPRequest parses the request head in buf.
+func ParseHTTPRequest(buf []byte) (HTTPRequest, error) {
+	var r HTTPRequest
+	lineEnd := bytes.Index(buf, crlf)
+	if lineEnd < 0 {
+		return r, ErrBadRequest
+	}
+	line := buf[:lineEnd]
+	sp := bytes.IndexByte(line, ' ')
+	if sp < 0 {
+		return r, ErrBadRequest
+	}
+	r.Method = string(line[:sp])
+	rest := line[sp+1:]
+	if !bytes.HasSuffix(rest, httpSuffix) {
+		// HTTP/1.0 or garbage; accept 1.0 without keep-alive.
+		sp2 := bytes.IndexByte(rest, ' ')
+		if sp2 < 0 {
+			return r, ErrBadRequest
+		}
+		r.Path = string(rest[:sp2])
+		return r, nil
+	}
+	r.Path = string(rest[:len(rest)-len(httpSuffix)])
+	r.KeepAlive = !bytes.Contains(buf, connClose) // 1.1 default keep-alive
+	return r, nil
+}
+
+// BuildHTTPResponse writes a 200 response with the body into buf and
+// returns the length.
+func BuildHTTPResponse(buf []byte, body []byte, keepAlive bool) (int, error) {
+	conn := "keep-alive"
+	if !keepAlive {
+		conn = "close"
+	}
+	head := fmt.Sprintf("HTTP/1.1 200 OK\r\nServer: atmo-httpd\r\nContent-Type: text/html\r\nContent-Length: %d\r\nConnection: %s\r\n\r\n", len(body), conn)
+	if len(buf) < len(head)+len(body) {
+		return 0, ErrTooShort
+	}
+	n := copy(buf, head)
+	n += copy(buf[n:], body)
+	return n, nil
+}
+
+// BuildHTTP404 writes a 404 response.
+func BuildHTTP404(buf []byte) (int, error) {
+	const resp = "HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\nConnection: close\r\n\r\n"
+	if len(buf) < len(resp) {
+		return 0, ErrTooShort
+	}
+	return copy(buf, resp), nil
+}

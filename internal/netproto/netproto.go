@@ -1,0 +1,197 @@
+// Package netproto implements the wire formats the evaluation workloads
+// speak: Ethernet II, IPv4, UDP (the 64-byte packets of §6.5.1 and the
+// Maglev/kv-store traffic of §6.6), and a minimal HTTP/1.1 for httpd.
+// Everything is stdlib-only and allocation-conscious: the driver paths
+// parse headers in place.
+package netproto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Header sizes.
+const (
+	EthHeaderLen  = 14
+	IPv4HeaderLen = 20
+	UDPHeaderLen  = 8
+	// MinFrameLen is the minimum Ethernet frame (without FCS), the
+	// 64-byte packets of the evaluation minus the 4-byte FCS.
+	MinFrameLen = 60
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// IP protocol numbers.
+const (
+	ProtoUDP = 17
+	ProtoTCP = 6
+)
+
+// Parse errors.
+var (
+	ErrTooShort = errors.New("netproto: packet too short")
+	ErrNotIPv4  = errors.New("netproto: not IPv4")
+	ErrNotUDP   = errors.New("netproto: not UDP")
+	ErrChecksum = errors.New("netproto: bad checksum")
+)
+
+// MAC is an Ethernet address.
+type MAC [6]byte
+
+// String implements fmt.Stringer.
+func (m MAC) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", m[0], m[1], m[2], m[3], m[4], m[5])
+}
+
+// IPv4 is an IPv4 address.
+type IPv4 [4]byte
+
+// String implements fmt.Stringer.
+func (a IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", a[0], a[1], a[2], a[3])
+}
+
+// UDPPacket is a parsed view of a UDP-over-IPv4-over-Ethernet frame.
+// Slices alias the underlying frame.
+type UDPPacket struct {
+	DstMAC, SrcMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// FiveTuple is a flow key.
+type FiveTuple struct {
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// BuildUDP assembles a UDP frame into buf and returns the frame length.
+// buf must be at least EthHeaderLen+IPv4HeaderLen+UDPHeaderLen+
+// len(payload) bytes and frames shorter than MinFrameLen are padded.
+func BuildUDP(buf []byte, srcMAC, dstMAC MAC, srcIP, dstIP IPv4, srcPort, dstPort uint16, payload []byte) (int, error) {
+	n := EthHeaderLen + IPv4HeaderLen + UDPHeaderLen + len(payload)
+	pad := 0
+	if n < MinFrameLen {
+		pad = MinFrameLen - n
+		n = MinFrameLen
+	}
+	if len(buf) < n {
+		return 0, ErrTooShort
+	}
+	copy(buf[0:6], dstMAC[:])
+	copy(buf[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+
+	ip := buf[EthHeaderLen:]
+	ipLen := IPv4HeaderLen + UDPHeaderLen + len(payload) + pad
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	binary.BigEndian.PutUint16(ip[4:6], 0) // id
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000)
+	ip[8] = 64 // TTL
+	ip[9] = ProtoUDP
+	binary.BigEndian.PutUint16(ip[10:12], 0) // checksum below
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
+
+	udp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(udp[0:2], srcPort)
+	binary.BigEndian.PutUint16(udp[2:4], dstPort)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(UDPHeaderLen+len(payload)+pad))
+	binary.BigEndian.PutUint16(udp[6:8], 0) // UDP checksum optional over IPv4
+	copy(udp[UDPHeaderLen:], payload)
+	for i := UDPHeaderLen + len(payload); i < UDPHeaderLen+len(payload)+pad; i++ {
+		udp[i] = 0
+	}
+	return n, nil
+}
+
+// ParseUDP parses a frame in place.
+func ParseUDP(frame []byte) (UDPPacket, error) {
+	var p UDPPacket
+	if len(frame) < EthHeaderLen+IPv4HeaderLen+UDPHeaderLen {
+		return p, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return p, ErrNotIPv4
+	}
+	copy(p.DstMAC[:], frame[0:6])
+	copy(p.SrcMAC[:], frame[6:12])
+	ip := frame[EthHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return p, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0xf) * 4
+	if ihl < IPv4HeaderLen || len(ip) < ihl+UDPHeaderLen {
+		return p, ErrTooShort
+	}
+	if ip[9] != ProtoUDP {
+		return p, ErrNotUDP
+	}
+	copy(p.SrcIP[:], ip[12:16])
+	copy(p.DstIP[:], ip[16:20])
+	udp := ip[ihl:]
+	p.SrcPort = binary.BigEndian.Uint16(udp[0:2])
+	p.DstPort = binary.BigEndian.Uint16(udp[2:4])
+	ulen := int(binary.BigEndian.Uint16(udp[4:6]))
+	if ulen < UDPHeaderLen || len(udp) < ulen {
+		return p, ErrTooShort
+	}
+	p.Payload = udp[UDPHeaderLen:ulen]
+	return p, nil
+}
+
+// Tuple extracts the packet's flow five-tuple.
+func (p *UDPPacket) Tuple() FiveTuple {
+	return FiveTuple{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: ProtoUDP}
+}
+
+// Checksum computes the RFC 1071 internet checksum.
+func Checksum(b []byte) uint16 {
+	var sum uint32
+	for i := 0; i+1 < len(b); i += 2 {
+		sum += uint32(binary.BigEndian.Uint16(b[i : i+2]))
+	}
+	if len(b)%2 == 1 {
+		sum += uint32(b[len(b)-1]) << 8
+	}
+	for sum>>16 != 0 {
+		sum = (sum & 0xffff) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// VerifyIPv4Checksum validates the header checksum of the IPv4 header
+// starting at the given offset of the frame.
+func VerifyIPv4Checksum(frame []byte) error {
+	if len(frame) < EthHeaderLen+IPv4HeaderLen {
+		return ErrTooShort
+	}
+	if Checksum(frame[EthHeaderLen:EthHeaderLen+IPv4HeaderLen]) != 0 {
+		return ErrChecksum
+	}
+	return nil
+}
+
+// RewriteDstIP rewrites the destination IP in place and fixes the
+// header checksum incrementally (what Maglev's forwarding plane does).
+func RewriteDstIP(frame []byte, newDst IPv4) error {
+	if len(frame) < EthHeaderLen+IPv4HeaderLen {
+		return ErrTooShort
+	}
+	ip := frame[EthHeaderLen:]
+	copy(ip[16:20], newDst[:])
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
+	return nil
+}

@@ -1,0 +1,144 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildParseUDPRoundTrip(t *testing.T) {
+	buf := make([]byte, 128)
+	payload := []byte("hello packet")
+	n, err := BuildUDP(buf, MAC{1}, MAC{2}, IPv4{10, 0, 0, 1}, IPv4{10, 0, 0, 2}, 1234, 53, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < MinFrameLen {
+		t.Fatalf("frame %d below minimum", n)
+	}
+	p, err := ParseUDP(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SrcPort != 1234 || p.DstPort != 53 {
+		t.Fatalf("ports %d %d", p.SrcPort, p.DstPort)
+	}
+	if p.SrcIP != (IPv4{10, 0, 0, 1}) || p.DstIP != (IPv4{10, 0, 0, 2}) {
+		t.Fatal("addresses wrong")
+	}
+	if !bytes.HasPrefix(p.Payload, payload) {
+		t.Fatalf("payload %q", p.Payload)
+	}
+	if err := VerifyIPv4Checksum(buf[:n]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseUDPRejectsGarbage(t *testing.T) {
+	if _, err := ParseUDP([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short frame accepted")
+	}
+	buf := make([]byte, 64)
+	buf[12], buf[13] = 0x08, 0x06 // ARP
+	if _, err := ParseUDP(buf); err != ErrNotIPv4 {
+		t.Fatalf("ARP accepted: %v", err)
+	}
+	buf[12], buf[13] = 0x08, 0x00
+	buf[14] = 0x45
+	buf[23] = ProtoTCP
+	if _, err := ParseUDP(buf); err != ErrNotUDP {
+		t.Fatalf("TCP accepted as UDP: %v", err)
+	}
+}
+
+func TestChecksumProperties(t *testing.T) {
+	f := func(data []byte) bool {
+		if len(data) < 2 {
+			return true
+		}
+		// Writing the computed checksum into a zeroed field makes the
+		// whole buffer sum to zero (RFC 1071).
+		b := append([]byte(nil), data...)
+		b[0], b[1] = 0, 0
+		c := Checksum(b)
+		b[0], b[1] = byte(c>>8), byte(c)
+		return Checksum(b) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRewriteDstIP(t *testing.T) {
+	buf := make([]byte, 128)
+	n, _ := BuildUDP(buf, MAC{1}, MAC{2}, IPv4{10, 0, 0, 1}, IPv4{10, 0, 0, 2}, 1, 2, nil)
+	if err := RewriteDstIP(buf[:n], IPv4{172, 16, 0, 9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyIPv4Checksum(buf[:n]); err != nil {
+		t.Fatal("checksum not fixed after rewrite")
+	}
+	p, err := ParseUDP(buf[:n])
+	if err != nil || p.DstIP != (IPv4{172, 16, 0, 9}) {
+		t.Fatalf("dst not rewritten: %v %v", p.DstIP, err)
+	}
+}
+
+func TestHTTPParse(t *testing.T) {
+	req, err := ParseHTTPRequest([]byte("GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if req.Method != "GET" || req.Path != "/index.html" || !req.KeepAlive {
+		t.Fatalf("parsed %+v", req)
+	}
+	req, err = ParseHTTPRequest([]byte("GET / HTTP/1.1\r\nConnection: close\r\n\r\n"))
+	if err != nil || req.KeepAlive {
+		t.Fatal("connection: close not honored")
+	}
+	if _, err := ParseHTTPRequest([]byte("garbage")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	req, err = ParseHTTPRequest([]byte("GET /x HTTP/1.0\r\n\r\n"))
+	if err != nil || req.KeepAlive || req.Path != "/x" {
+		t.Fatalf("HTTP/1.0 handling: %+v %v", req, err)
+	}
+}
+
+func TestHTTPResponse(t *testing.T) {
+	buf := make([]byte, 512)
+	body := []byte("<html>hi</html>")
+	n, err := BuildHTTPResponse(buf, body, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := string(buf[:n])
+	if !bytes.Contains(buf[:n], body) || !bytes.Contains(buf[:n], []byte("200 OK")) {
+		t.Fatalf("response %q", resp)
+	}
+	if _, err := BuildHTTPResponse(make([]byte, 4), body, true); err == nil {
+		t.Fatal("overflow not detected")
+	}
+	if n, err := BuildHTTP404(buf); err != nil || !bytes.Contains(buf[:n], []byte("404")) {
+		t.Fatal("404 wrong")
+	}
+}
+
+func TestFiveTuple(t *testing.T) {
+	buf := make([]byte, 128)
+	n, _ := BuildUDP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 99, 100, nil)
+	p, _ := ParseUDP(buf[:n])
+	tu := p.Tuple()
+	if tu.SrcPort != 99 || tu.DstPort != 100 || tu.Proto != ProtoUDP {
+		t.Fatalf("tuple %+v", tu)
+	}
+}
+
+func TestMACStringAndIPString(t *testing.T) {
+	if (MAC{0xde, 0xad, 0xbe, 0xef, 0, 1}).String() != "de:ad:be:ef:00:01" {
+		t.Fatal("MAC string")
+	}
+	if (IPv4{192, 168, 0, 1}).String() != "192.168.0.1" {
+		t.Fatal("IP string")
+	}
+}

@@ -1,0 +1,131 @@
+package netproto
+
+import (
+	"encoding/binary"
+)
+
+// TCP-lite: enough of TCP for the httpd evaluation — three-way
+// handshake, in-order data segments with piggybacked ACKs, and FIN
+// teardown. No retransmission or windowing: the simulated link neither
+// drops nor reorders.
+
+// TCP header flags.
+const (
+	TCPFin = 1 << 0
+	TCPSyn = 1 << 1
+	TCPRst = 1 << 2
+	TCPPsh = 1 << 3
+	TCPAck = 1 << 4
+)
+
+// TCPHeaderLen is the fixed header size this dialect uses (no options).
+const TCPHeaderLen = 20
+
+// TCPPacket is a parsed view of a TCP-over-IPv4-over-Ethernet frame.
+type TCPPacket struct {
+	DstMAC, SrcMAC   MAC
+	SrcIP, DstIP     IPv4
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Payload          []byte
+}
+
+// Tuple extracts the flow five-tuple.
+func (p *TCPPacket) Tuple() FiveTuple {
+	return FiveTuple{SrcIP: p.SrcIP, DstIP: p.DstIP, SrcPort: p.SrcPort, DstPort: p.DstPort, Proto: ProtoTCP}
+}
+
+// Reverse returns the reply direction's five-tuple.
+func (t FiveTuple) Reverse() FiveTuple {
+	return FiveTuple{SrcIP: t.DstIP, DstIP: t.SrcIP, SrcPort: t.DstPort, DstPort: t.SrcPort, Proto: t.Proto}
+}
+
+// BuildTCP assembles a TCP frame into buf and returns the frame length.
+func BuildTCP(buf []byte, srcMAC, dstMAC MAC, srcIP, dstIP IPv4,
+	srcPort, dstPort uint16, seq, ack uint32, flags uint8, payload []byte) (int, error) {
+	n := EthHeaderLen + IPv4HeaderLen + TCPHeaderLen + len(payload)
+	pad := 0
+	if n < MinFrameLen {
+		pad = MinFrameLen - n
+		n = MinFrameLen
+	}
+	if len(buf) < n {
+		return 0, ErrTooShort
+	}
+	copy(buf[0:6], dstMAC[:])
+	copy(buf[6:12], srcMAC[:])
+	binary.BigEndian.PutUint16(buf[12:14], EtherTypeIPv4)
+
+	ip := buf[EthHeaderLen:]
+	// Padding is Ethernet-level; the IP total length excludes it, which
+	// is how the receiver recovers the exact payload length.
+	ipLen := IPv4HeaderLen + TCPHeaderLen + len(payload)
+	ip[0] = 0x45
+	ip[1] = 0
+	binary.BigEndian.PutUint16(ip[2:4], uint16(ipLen))
+	binary.BigEndian.PutUint16(ip[4:6], 0)
+	binary.BigEndian.PutUint16(ip[6:8], 0x4000)
+	ip[8] = 64
+	ip[9] = ProtoTCP
+	binary.BigEndian.PutUint16(ip[10:12], 0)
+	copy(ip[12:16], srcIP[:])
+	copy(ip[16:20], dstIP[:])
+	binary.BigEndian.PutUint16(ip[10:12], Checksum(ip[:IPv4HeaderLen]))
+
+	tcp := ip[IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tcp[0:2], srcPort)
+	binary.BigEndian.PutUint16(tcp[2:4], dstPort)
+	binary.BigEndian.PutUint32(tcp[4:8], seq)
+	binary.BigEndian.PutUint32(tcp[8:12], ack)
+	tcp[12] = (TCPHeaderLen / 4) << 4 // data offset
+	tcp[13] = flags
+	binary.BigEndian.PutUint16(tcp[14:16], 0xffff) // window
+	binary.BigEndian.PutUint16(tcp[16:18], 0)      // checksum (link is lossless)
+	binary.BigEndian.PutUint16(tcp[18:20], 0)      // urgent
+	copy(tcp[TCPHeaderLen:], payload)
+	for i := TCPHeaderLen + len(payload); i < TCPHeaderLen+len(payload)+pad; i++ {
+		tcp[i] = 0
+	}
+	return n, nil
+}
+
+// ParseTCP parses a TCP frame in place. The payload excludes padding
+// (its length comes from the IP total length).
+func ParseTCP(frame []byte) (TCPPacket, error) {
+	var p TCPPacket
+	if len(frame) < EthHeaderLen+IPv4HeaderLen+TCPHeaderLen {
+		return p, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(frame[12:14]) != EtherTypeIPv4 {
+		return p, ErrNotIPv4
+	}
+	copy(p.DstMAC[:], frame[0:6])
+	copy(p.SrcMAC[:], frame[6:12])
+	ip := frame[EthHeaderLen:]
+	if ip[0]>>4 != 4 {
+		return p, ErrNotIPv4
+	}
+	ihl := int(ip[0]&0xf) * 4
+	totalLen := int(binary.BigEndian.Uint16(ip[2:4]))
+	if ip[9] != ProtoTCP {
+		return p, ErrNotUDP
+	}
+	if len(ip) < ihl+TCPHeaderLen || totalLen < ihl+TCPHeaderLen || totalLen > len(ip) {
+		return p, ErrTooShort
+	}
+	copy(p.SrcIP[:], ip[12:16])
+	copy(p.DstIP[:], ip[16:20])
+	tcp := ip[ihl:totalLen]
+	p.SrcPort = binary.BigEndian.Uint16(tcp[0:2])
+	p.DstPort = binary.BigEndian.Uint16(tcp[2:4])
+	p.Seq = binary.BigEndian.Uint32(tcp[4:8])
+	p.Ack = binary.BigEndian.Uint32(tcp[8:12])
+	off := int(tcp[12]>>4) * 4
+	if off < TCPHeaderLen || len(tcp) < off {
+		return p, ErrTooShort
+	}
+	p.Flags = tcp[13]
+	p.Payload = tcp[off:]
+	return p, nil
+}

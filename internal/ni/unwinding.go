@@ -1,0 +1,301 @@
+package ni
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/pt"
+)
+
+// The unwinding-condition checker (§4.3). A Fuzzer drives arbitrary
+// system calls with arbitrary arguments from A's and B's threads
+// (interleaved with V's event loop) and validates:
+//
+//   SC  — after every step by one isolated domain, the other domain's
+//         observable state is bit-identical;
+//   iso — memory_iso and endpoint_iso hold after every step;
+//   OC  — replaying a seed reproduces every return value and every
+//         observable state hash (the kernel is a function of its
+//         pre-state; see TestOutputConsistency);
+//   LR  — in this configuration local respect is subsumed by SC, as in
+//         the paper.
+
+// StepRecord is one fuzzed transition's observable outcome.
+type StepRecord struct {
+	Domain string
+	Op     string
+	Errno  kernel.Errno
+	Val    uint64
+	ObsA   uint64
+	ObsB   uint64
+}
+
+// Fuzzer drives the scenario.
+type Fuzzer struct {
+	S *Scenario
+	V *Service
+	R *hw.Rand
+
+	// Trace records every step for output-consistency comparison.
+	Trace []StepRecord
+
+	// SCViolations collects step-consistency failures (empty on a
+	// correct kernel).
+	SCViolations []string
+
+	// vaNext allocates fresh mapping addresses per domain.
+	vaNext map[string]uint64
+	// mapped tracks live user mappings per domain for munmap/send.
+	mapped map[string][]hw.VirtAddr
+	// children tracks killable child containers per domain.
+	children map[string][]pm.Ptr
+}
+
+// NewFuzzer builds a scenario and fuzzer from a seed.
+func NewFuzzer(seed uint64) (*Fuzzer, error) {
+	s, err := Build(DefaultConfig())
+	if err != nil {
+		return nil, err
+	}
+	return &Fuzzer{
+		S: s, V: NewService(s), R: hw.NewRand(seed),
+		vaNext:   map[string]uint64{"A": 0x10000000, "B": 0x20000000},
+		mapped:   map[string][]hw.VirtAddr{},
+		children: map[string][]pm.Ptr{},
+	}, nil
+}
+
+// runnableThreads returns the domain's threads able to issue syscalls,
+// sorted for determinism.
+func (f *Fuzzer) runnableThreads(cntr pm.Ptr) []pm.Ptr {
+	var out []pm.Ptr
+	for th := range f.S.K.PM.ThreadsOf(cntr) {
+		t := f.S.K.PM.Thrd(th)
+		if t.State == pm.ThreadRunnable || t.State == pm.ThreadRunning {
+			out = append(out, th)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func hashView(v string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(v))
+	return h.Sum64()
+}
+
+// Step performs one fuzzed transition and applies the SC and isolation
+// checks. It returns an error only for checker-internal failures;
+// property violations are collected in SCViolations.
+func (f *Fuzzer) Step() error {
+	k := f.S.K
+	switch f.R.Intn(5) {
+	case 0, 1: // A acts; B must be unaffected.
+		if err := f.domainStep("A", f.S.A, 1, f.S.B, "B"); err != nil {
+			return err
+		}
+	case 2, 3: // B acts; A must be unaffected.
+		if err := f.domainStep("B", f.S.B, 2, f.S.A, "A"); err != nil {
+			return err
+		}
+	default: // V serves.
+		if err := f.V.Step(); err != nil {
+			return err
+		}
+		f.record("V", "service", kernel.OK, 0)
+	}
+	if err := f.S.CheckIsolation(); err != nil {
+		return err
+	}
+	if err := f.V.CheckCorrectness(); err != nil {
+		return err
+	}
+	_ = k
+	return nil
+}
+
+func (f *Fuzzer) record(domain, op string, errno kernel.Errno, val uint64) {
+	f.Trace = append(f.Trace, StepRecord{
+		Domain: domain, Op: op, Errno: errno, Val: val,
+		ObsA: hashView(Observe(f.S.K, f.S.A)),
+		ObsB: hashView(Observe(f.S.K, f.S.B)),
+	})
+}
+
+// domainStep performs one arbitrary syscall from the acting domain and
+// checks the other domain's observable state is untouched.
+func (f *Fuzzer) domainStep(name string, cntr pm.Ptr, core int, other pm.Ptr, otherName string) error {
+	threads := f.runnableThreads(cntr)
+	if len(threads) == 0 {
+		f.record(name, "stalled", kernel.OK, 0)
+		return nil
+	}
+	tid := threads[f.R.Intn(len(threads))]
+	before := Observe(f.S.K, other)
+	op, ret := f.randomSyscall(name, cntr, core, tid)
+	after := Observe(f.S.K, other)
+	if eq, diff := ViewEqual(before, after); !eq {
+		f.SCViolations = append(f.SCViolations,
+			fmt.Sprintf("SC violated: %s's %s changed %s's observable state: %s",
+				name, op, otherName, diff))
+	}
+	f.record(name, op, ret.Errno, ret.Vals[0])
+	return nil
+}
+
+// randomSyscall issues one random syscall (possibly with invalid
+// arguments — the theorem quantifies over arbitrary calls).
+func (f *Fuzzer) randomSyscall(name string, cntr pm.Ptr, core int, tid pm.Ptr) (string, kernel.Ret) {
+	k := f.S.K
+	r := f.R
+	serviceSlot := f.S.SlotAV
+	if name == "B" {
+		serviceSlot = f.S.SlotBV
+	}
+	switch r.Intn(16) {
+	case 0: // mmap fresh range
+		count := 1 + r.Intn(3)
+		va := hw.VirtAddr(f.vaNext[name])
+		f.vaNext[name] += uint64(count+1) * hw.PageSize4K
+		ret := k.SysMmap(core, tid, va, count, hw.Size4K, pt.RW)
+		if ret.Errno == kernel.OK {
+			for i := 0; i < count; i++ {
+				f.mapped[name] = append(f.mapped[name], va+hw.VirtAddr(i)*hw.PageSize4K)
+			}
+		}
+		return "mmap", ret
+	case 1: // munmap a live mapping (or a bogus address)
+		if m := f.mapped[name]; len(m) > 0 && r.Bool() {
+			i := r.Intn(len(m))
+			va := m[i]
+			ret := k.SysMunmap(core, tid, va, 1, hw.Size4K)
+			if ret.Errno == kernel.OK {
+				f.mapped[name] = append(m[:i], m[i+1:]...)
+			}
+			return "munmap", ret
+		}
+		return "munmap", k.SysMunmap(core, tid, hw.VirtAddr(r.Uint64n(1<<32))&^0xfff, 1, hw.Size4K)
+	case 2: // write into an own mapping (user-level step; must not affect the peer)
+		if m := f.mapped[name]; len(m) > 0 {
+			va := m[r.Intn(len(m))]
+			proc := k.PM.Proc(k.PM.Thrd(tid).OwningProc)
+			var buf [16]byte
+			r.Bytes(buf[:])
+			k.Machine.MMU.Store(proc.PageTable.CR3(), va, buf[:])
+		}
+		return "store", kernel.Ret{}
+	case 3: // new child container
+		ret := k.SysNewContainer(core, tid, uint64(4+r.Intn(12)), []int{core})
+		if ret.Errno == kernel.OK {
+			f.children[name] = append(f.children[name], pm.Ptr(ret.Vals[0]))
+		}
+		return "new_container", ret
+	case 4: // kill a child container
+		if ch := f.children[name]; len(ch) > 0 {
+			i := r.Intn(len(ch))
+			ret := k.SysKillContainer(core, tid, ch[i])
+			if ret.Errno == kernel.OK {
+				f.children[name] = append(ch[:i], ch[i+1:]...)
+			}
+			return "kill_container", ret
+		}
+		// Arbitrary kill attempt against the peer: must be denied.
+		target := f.S.B
+		if name == "B" {
+			target = f.S.A
+		}
+		return "kill_container(peer)", k.SysKillContainer(core, tid, target)
+	case 5: // new process
+		return "new_proc", k.SysNewProcess(core, tid)
+	case 6: // new thread
+		return "new_thread", k.SysNewThreadIn(core, tid, k.PM.Thrd(tid).OwningProc, core)
+	case 7: // new endpoint in a random slot (may collide -> EINVAL)
+		return "new_endpoint", k.SysNewEndpoint(core, tid, r.Intn(pm.MaxEndpoints+2)-1)
+	case 8: // close a random slot
+		return "close_endpoint", k.SysCloseEndpoint(core, tid, r.Intn(pm.MaxEndpoints))
+	case 9: // call the service, sometimes sharing a page
+		args := kernel.SendArgs{Regs: [4]uint64{r.Uint64() % 1000}}
+		if m := f.mapped[name]; len(m) > 0 && r.Bool() {
+			args.SendPage = true
+			args.PageVA = m[r.Intn(len(m))]
+		}
+		return "call(V)", k.SysCall(core, tid, serviceSlot, args)
+	case 10: // plain send on the service slot (may block this thread)
+		args := kernel.SendArgs{Regs: [4]uint64{r.Uint64() % 1000}}
+		if m := f.mapped[name]; len(m) > 0 && r.Bool() {
+			args.SendPage = true
+			args.PageVA = m[r.Intn(len(m))]
+		}
+		return "send(V)", k.SysSend(core, tid, serviceSlot, args)
+	case 11: // send on a random (often invalid) slot with garbage
+		return "send(junk)", k.SysSend(core, tid, r.Intn(pm.MaxEndpoints),
+			kernel.SendArgs{SendPage: r.Bool(), PageVA: hw.VirtAddr(r.Uint64n(1 << 33)),
+				SendEdpt: r.Bool(), EdptSlot: r.Intn(pm.MaxEndpoints)})
+	case 12: // yield
+		return "yield", k.SysYield(core, tid)
+	case 13: // bounded (iterative) kill of an own child container
+		if ch := f.children[name]; len(ch) > 0 {
+			i := r.Intn(len(ch))
+			ret := k.SysKillContainerBounded(core, tid, ch[i], 1+r.Intn(3))
+			if ret.Errno == kernel.OK {
+				f.children[name] = append(ch[:i], ch[i+1:]...)
+			}
+			return "kill_container_bounded", ret
+		}
+		return "kill_container_bounded(noop)", kernel.Ret{}
+	case 14: // exit a spare thread (never the domain's last runnable one)
+		runnable := f.runnableThreads(cntr)
+		if len(runnable) > 1 && runnable[len(runnable)-1] != tid {
+			return "exit_thread", k.SysExitThread(core, runnable[len(runnable)-1])
+		}
+		return "exit_thread(noop)", kernel.Ret{}
+	default: // mmap with hostile arguments
+		return "mmap(junk)", k.SysMmap(core, tid,
+			hw.VirtAddr(r.Uint64n(1<<40)), int(r.Uint64n(5))-1, hw.Size4K, pt.RW)
+	}
+}
+
+// Run performs n fuzz steps.
+func (f *Fuzzer) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := f.Step(); err != nil {
+			return fmt.Errorf("step %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ReplayTrace runs a fresh fuzzer with the same seed and step count and
+// returns its trace — output consistency (OC) holds iff two replays
+// produce identical traces.
+func ReplayTrace(seed uint64, steps int) ([]StepRecord, error) {
+	f, err := NewFuzzer(seed)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Run(steps); err != nil {
+		return nil, err
+	}
+	if len(f.SCViolations) > 0 {
+		return nil, fmt.Errorf("step consistency violated: %s", f.SCViolations[0])
+	}
+	return f.Trace, nil
+}
+
+// TracesEqual compares two traces and reports the first divergence.
+func TracesEqual(a, b []StepRecord) (bool, string) {
+	if len(a) != len(b) {
+		return false, fmt.Sprintf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false, fmt.Sprintf("step %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	return true, ""
+}

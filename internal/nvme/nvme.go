@@ -1,0 +1,190 @@
+// Package nvme models the PCIe-attached Intel P3700 SSD of §6.5.2: an
+// admin-less NVMe subset with one I/O submission/completion queue pair
+// living in simulated physical memory, doorbell registers, and a device
+// performance envelope (per-command latency and sustained IOPS ceilings
+// for 4 KiB sequential reads and writes) that the benchmarks combine
+// with measured driver cycles to produce Figure 5.
+package nvme
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/iommu"
+)
+
+// Command opcodes (NVMe I/O command set).
+const (
+	OpFlush = 0x00
+	OpWrite = 0x01
+	OpRead  = 0x02
+)
+
+// Queue entry sizes per the NVMe spec.
+const (
+	SQESize = 64
+	CQESize = 16
+)
+
+// BlockSize is the logical block size.
+const BlockSize = 4096
+
+// Device performance envelope, calibrated to the paper's P3700 numbers:
+// 4 KiB sequential reads peak around 460K IOPS and writes around 256K
+// IOPS; queue-depth-1 read latency bounds fio's unbatched run to ~13K
+// IOPS (§6.5.2).
+const (
+	ReadMaxIOPS  = 460_000
+	WriteMaxIOPS = 256_000
+	// ReadLatencyCycles is the per-command read latency (≈76 µs at
+	// 2.2 GHz, matching 13K IOPS at queue depth 1).
+	ReadLatencyCycles = 168_000
+	// WriteLatencyCycles is the per-command write latency (≈20 µs,
+	// buffered writes).
+	WriteLatencyCycles = 44_000
+)
+
+// Errors.
+var (
+	ErrQueueEmpty = errors.New("nvme: submission queue empty")
+	ErrDMAFault   = errors.New("nvme: DMA fault")
+	ErrBadLBA     = errors.New("nvme: LBA out of range")
+	ErrBadOpcode  = errors.New("nvme: unsupported opcode")
+)
+
+// Device is one simulated NVMe controller with a single I/O queue pair
+// and an in-memory flash array (sized in blocks).
+type Device struct {
+	mem *hw.PhysMem
+	iom *iommu.IOMMU
+	dev iommu.DeviceID
+
+	// Backing store: blocks of 4 KiB.
+	media []byte
+	nlb   uint64
+
+	sqBase, cqBase hw.PhysAddr
+	qSize          int
+	sqHead, sqTail int
+	cqTail         int
+	phase          byte
+
+	// Stats.
+	Reads, Writes, Faults uint64
+}
+
+// New creates a device with capacity blocks of media, DMAing through
+// the IOMMU (nil for pass-through).
+func New(mem *hw.PhysMem, iom *iommu.IOMMU, dev iommu.DeviceID, capacityBlocks int) *Device {
+	return &Device{
+		mem: mem, iom: iom, dev: dev,
+		media: make([]byte, capacityBlocks*BlockSize),
+		nlb:   uint64(capacityBlocks),
+		phase: 1,
+	}
+}
+
+func (d *Device) translate(addr hw.PhysAddr) (hw.PhysAddr, bool) {
+	if d.iom == nil {
+		return addr, d.mem.Contains(addr, 1)
+	}
+	pa, ok := d.iom.Translate(d.dev, hw.VirtAddr(addr))
+	return pa, ok
+}
+
+// CreateQueues programs the queue pair (driver's admin step).
+func (d *Device) CreateQueues(sq, cq hw.PhysAddr, size int) {
+	d.sqBase, d.cqBase, d.qSize = sq, cq, size
+	d.sqHead, d.sqTail, d.cqTail = 0, 0, 0
+	d.phase = 1
+}
+
+// QueueSize returns the programmed queue depth.
+func (d *Device) QueueSize() int { return d.qSize }
+
+// DeviceID returns the PCIe function identity the device DMAs as.
+func (d *Device) DeviceID() iommu.DeviceID { return d.dev }
+
+// WriteSQDoorbell publishes submissions up to tail and processes them
+// synchronously (wire/flash time is applied analytically via the
+// latency/IOPS envelope by the benchmark layer).
+func (d *Device) WriteSQDoorbell(tail int) error {
+	d.sqTail = tail % d.qSize
+	for d.sqHead != d.sqTail {
+		if err := d.execute(d.sqHead); err != nil {
+			return err
+		}
+		d.sqHead = (d.sqHead + 1) % d.qSize
+	}
+	return nil
+}
+
+// execute performs one submission queue entry: 64 bytes with opcode at
+// 0, CID at 2, PRP at 24, SLBA at 40, NLB at 48.
+func (d *Device) execute(idx int) error {
+	sqe, ok := d.translate(d.sqBase + hw.PhysAddr(idx*SQESize))
+	if !ok {
+		d.Faults++
+		return ErrDMAFault
+	}
+	raw := d.mem.Read(sqe, SQESize)
+	opcode := raw[0]
+	cid := binary.LittleEndian.Uint16(raw[2:4])
+	prp := hw.PhysAddr(binary.LittleEndian.Uint64(raw[24:32]))
+	slba := binary.LittleEndian.Uint64(raw[40:48])
+	status := uint16(0)
+
+	switch opcode {
+	case OpRead, OpWrite:
+		if slba >= d.nlb {
+			status = 0x0281 // LBA out of range
+			break
+		}
+		buf, ok := d.translate(prp)
+		if !ok || !d.mem.Contains(buf, BlockSize) {
+			d.Faults++
+			return ErrDMAFault
+		}
+		off := slba * BlockSize
+		if opcode == OpRead {
+			d.mem.Write(buf, d.media[off:off+BlockSize])
+			d.Reads++
+		} else {
+			copy(d.media[off:off+BlockSize], d.mem.Slice(buf, BlockSize))
+			d.Writes++
+		}
+	case OpFlush:
+		// Media is always durable in the model.
+	default:
+		status = 0x0001 // invalid opcode
+	}
+	return d.complete(cid, status)
+}
+
+// complete posts a completion queue entry: CID at 12, status+phase at 14.
+func (d *Device) complete(cid uint16, status uint16) error {
+	cqe, ok := d.translate(d.cqBase + hw.PhysAddr(d.cqTail*CQESize))
+	if !ok {
+		d.Faults++
+		return ErrDMAFault
+	}
+	var raw [CQESize]byte
+	binary.LittleEndian.PutUint16(raw[12:14], cid)
+	binary.LittleEndian.PutUint16(raw[14:16], status<<1|uint16(d.phase))
+	d.mem.Write(cqe, raw[:])
+	d.cqTail++
+	if d.cqTail == d.qSize {
+		d.cqTail = 0
+		d.phase ^= 1
+	}
+	return nil
+}
+
+// MediaAt returns the media contents for verification in tests.
+func (d *Device) MediaAt(lba uint64) []byte {
+	off := lba * BlockSize
+	out := make([]byte, BlockSize)
+	copy(out, d.media[off:off+BlockSize])
+	return out
+}

@@ -1,0 +1,136 @@
+package nvme
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"atmosphere/internal/hw"
+)
+
+// setup builds a device with pass-through DMA: SQ at frame 1, CQ at
+// frame 2, data buffer at frame 3.
+func setup(t *testing.T, blocks int) (*hw.PhysMem, *Device, hw.PhysAddr, hw.PhysAddr, hw.PhysAddr) {
+	t.Helper()
+	mem := hw.NewPhysMem(8)
+	d := New(mem, nil, 0, blocks)
+	sq := hw.PhysAddr(1 * hw.PageSize4K)
+	cq := hw.PhysAddr(2 * hw.PageSize4K)
+	buf := hw.PhysAddr(3 * hw.PageSize4K)
+	d.CreateQueues(sq, cq, 16)
+	return mem, d, sq, cq, buf
+}
+
+func submit(mem *hw.PhysMem, sq hw.PhysAddr, idx int, op byte, cid uint16, prp hw.PhysAddr, slba uint64) {
+	var raw [SQESize]byte
+	raw[0] = op
+	binary.LittleEndian.PutUint16(raw[2:4], cid)
+	binary.LittleEndian.PutUint64(raw[24:32], uint64(prp))
+	binary.LittleEndian.PutUint64(raw[40:48], slba)
+	mem.Write(sq+hw.PhysAddr(idx*SQESize), raw[:])
+}
+
+func TestWriteThenRead(t *testing.T) {
+	mem, d, sq, cq, buf := setup(t, 64)
+	payload := []byte("atmosphere block data")
+	mem.Write(buf, payload)
+	submit(mem, sq, 0, OpWrite, 7, buf, 5)
+	if err := d.WriteSQDoorbell(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Writes != 1 {
+		t.Fatalf("writes = %d", d.Writes)
+	}
+	// Completion posted with matching CID and phase 1.
+	cqe := mem.Read(cq, CQESize)
+	if binary.LittleEndian.Uint16(cqe[12:14]) != 7 {
+		t.Fatal("completion CID wrong")
+	}
+	sp := binary.LittleEndian.Uint16(cqe[14:16])
+	if sp&1 != 1 || sp>>1 != 0 {
+		t.Fatalf("status+phase = %#x", sp)
+	}
+	// Read it back into a clean buffer.
+	mem.Write(buf, make([]byte, len(payload)))
+	submit(mem, sq, 1, OpRead, 8, buf, 5)
+	if err := d.WriteSQDoorbell(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := mem.Read(buf, uint64(len(payload))); string(got) != string(payload) {
+		t.Fatalf("read back %q", got)
+	}
+}
+
+func TestLBAOutOfRange(t *testing.T) {
+	mem, d, sq, cq, buf := setup(t, 4)
+	submit(mem, sq, 0, OpRead, 1, buf, 99)
+	if err := d.WriteSQDoorbell(1); err != nil {
+		t.Fatal(err)
+	}
+	sp := binary.LittleEndian.Uint16(mem.Read(cq+14, 2))
+	if sp>>1 == 0 {
+		t.Fatal("out-of-range LBA succeeded")
+	}
+}
+
+func TestBadOpcode(t *testing.T) {
+	mem, d, sq, cq, buf := setup(t, 4)
+	submit(mem, sq, 0, 0x7f, 1, buf, 0)
+	if err := d.WriteSQDoorbell(1); err != nil {
+		t.Fatal(err)
+	}
+	sp := binary.LittleEndian.Uint16(mem.Read(cq+14, 2))
+	if sp>>1 == 0 {
+		t.Fatal("bad opcode succeeded")
+	}
+}
+
+func TestPhaseFlipsOnWrap(t *testing.T) {
+	mem, d, sq, cq, buf := setup(t, 64)
+	// Issue 20 commands through a 16-deep queue: the CQ wraps and the
+	// phase bit flips.
+	tail := 0
+	for i := 0; i < 20; i++ {
+		submit(mem, sq, tail, OpRead, uint16(i), buf, 0)
+		tail = (tail + 1) % 16
+		if err := d.WriteSQDoorbell(tail); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Entry 16 wrapped to CQ slot 0 with phase 0.
+	sp := binary.LittleEndian.Uint16(mem.Read(cq+14, 2))
+	if sp&1 != 0 {
+		t.Fatal("phase did not flip on wrap")
+	}
+	// Entry at slot 3 (command 19) also phase 0.
+	sp = binary.LittleEndian.Uint16(mem.Read(cq+hw.PhysAddr(3*CQESize)+14, 2))
+	if sp&1 != 0 {
+		t.Fatal("later wrapped entry has wrong phase")
+	}
+}
+
+func TestFlushCompletes(t *testing.T) {
+	mem, d, sq, cq, buf := setup(t, 4)
+	submit(mem, sq, 0, OpFlush, 3, buf, 0)
+	if err := d.WriteSQDoorbell(1); err != nil {
+		t.Fatal(err)
+	}
+	sp := binary.LittleEndian.Uint16(mem.Read(cq+14, 2))
+	if sp>>1 != 0 {
+		t.Fatal("flush failed")
+	}
+}
+
+func TestMediaAt(t *testing.T) {
+	mem, d, sq, _, buf := setup(t, 8)
+	mem.Write(buf, []byte{1, 2, 3})
+	submit(mem, sq, 0, OpWrite, 1, buf, 2)
+	if err := d.WriteSQDoorbell(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.MediaAt(2); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatal("media content wrong")
+	}
+	if got := d.MediaAt(1); got[0] != 0 {
+		t.Fatal("adjacent block clobbered")
+	}
+}

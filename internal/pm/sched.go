@@ -1,0 +1,169 @@
+package pm
+
+import (
+	"fmt"
+
+	"atmosphere/internal/hw"
+)
+
+// Scheduler is Atmosphere's per-core round-robin scheduler. A thread is
+// affine to one core (chosen from its container's CPU reservation at
+// creation); each core has a FIFO run queue plus a current thread. The
+// kernel runs under a big lock, so the scheduler needs no internal
+// locking (§3).
+type Scheduler struct {
+	queues  [][]Ptr
+	current []Ptr // 0 = core idle
+}
+
+func newScheduler(cores int) *Scheduler {
+	if cores < 1 {
+		panic("pm: scheduler needs at least one core")
+	}
+	return &Scheduler{
+		queues:  make([][]Ptr, cores),
+		current: make([]Ptr, cores),
+	}
+}
+
+// Cores returns the number of cores.
+func (s *Scheduler) Cores() int { return len(s.queues) }
+
+// Current returns the thread running on core (0 if idle).
+func (s *Scheduler) Current(core int) Ptr { return s.current[core] }
+
+// Queue returns a copy of core's run queue (for invariant checks).
+func (s *Scheduler) Queue(core int) []Ptr {
+	return append([]Ptr(nil), s.queues[core]...)
+}
+
+// enqueue appends a runnable thread to its core's queue.
+func (s *Scheduler) enqueue(t *Thread) {
+	if t.State != ThreadRunnable {
+		panic(fmt.Sprintf("pm: enqueueing %v thread %#x", t.State, t.Ptr))
+	}
+	s.queues[t.Core] = append(s.queues[t.Core], t.Ptr)
+}
+
+// remove deletes a thread from wherever the scheduler holds it.
+func (s *Scheduler) remove(t *Thread) {
+	q := s.queues[t.Core]
+	for i, p := range q {
+		if p == t.Ptr {
+			s.queues[t.Core] = append(q[:i], q[i+1:]...)
+			break
+		}
+	}
+	if s.current[t.Core] == t.Ptr {
+		s.current[t.Core] = 0
+	}
+}
+
+// PickNext pops the head of core's queue and makes it current. The
+// previously current thread, if still running, is requeued (round
+// robin). Returns the new current thread or 0 if the core idles.
+func (m *ProcessManager) PickNext(core int) Ptr {
+	s := m.sched
+	m.clock.Charge(hw.CostSchedPick)
+	if cur := s.current[core]; cur != 0 {
+		t := m.Thrd(cur)
+		if t.State == ThreadRunning {
+			t.State = ThreadRunnable
+			s.enqueue(t)
+		}
+		s.current[core] = 0
+	}
+	if len(s.queues[core]) == 0 {
+		return 0
+	}
+	next := s.queues[core][0]
+	s.queues[core] = s.queues[core][1:]
+	t := m.Thrd(next)
+	t.State = ThreadRunning
+	s.current[core] = next
+	return next
+}
+
+// Dispatch makes a specific runnable thread current on its core,
+// requeueing whatever ran there. Tests and the syscall layer use it to
+// drive a chosen thread (the simulation's stand-in for timer ticks).
+func (m *ProcessManager) Dispatch(thrd Ptr) error {
+	t := m.Thrd(thrd)
+	if t.State == ThreadRunning {
+		return nil
+	}
+	if t.State != ThreadRunnable {
+		return fmt.Errorf("pm: dispatch of %v thread %#x", t.State, thrd)
+	}
+	s := m.sched
+	core := t.Core
+	if cur := s.current[core]; cur != 0 {
+		ct := m.Thrd(cur)
+		ct.State = ThreadRunnable
+		s.current[core] = 0
+		s.enqueue(ct)
+	}
+	// Unlink from the queue and make current.
+	s.remove(t)
+	t.State = ThreadRunning
+	s.current[core] = thrd
+	m.clock.Charge(hw.CostContextSwitch)
+	return nil
+}
+
+// DirectSwitch hands the core to a runnable thread without going through
+// the run queue — the IPC fastpath handoff (the caller must have already
+// blocked or otherwise vacated the core).
+func (m *ProcessManager) DirectSwitch(thrd Ptr) {
+	t := m.Thrd(thrd)
+	if t.State != ThreadRunnable {
+		panic(fmt.Sprintf("pm: direct switch to %v thread %#x", t.State, thrd))
+	}
+	s := m.sched
+	s.remove(t)
+	if cur := s.current[t.Core]; cur != 0 {
+		ct := m.Thrd(cur)
+		ct.State = ThreadRunnable
+		s.current[t.Core] = 0
+		s.enqueue(ct)
+	}
+	t.State = ThreadRunning
+	s.current[t.Core] = thrd
+	m.clock.Charge(hw.CostDirectSwitch)
+}
+
+// BlockCurrent transitions a running thread into an IPC-blocked state and
+// removes it from its core.
+func (m *ProcessManager) BlockCurrent(thrd Ptr, state ThreadState) {
+	if state != ThreadBlockedSend && state != ThreadBlockedRecv {
+		panic(fmt.Sprintf("pm: invalid blocked state %v", state))
+	}
+	t := m.Thrd(thrd)
+	s := m.sched
+	if s.current[t.Core] == thrd {
+		s.current[t.Core] = 0
+	} else {
+		s.remove(t) // blocking a runnable (not yet dispatched) thread
+	}
+	t.State = state
+}
+
+// Wake makes a blocked thread runnable and enqueues it, delivering err as
+// its syscall completion status.
+func (m *ProcessManager) Wake(thrd Ptr, err error) {
+	t := m.Thrd(thrd)
+	if t.State != ThreadBlockedSend && t.State != ThreadBlockedRecv {
+		panic(fmt.Sprintf("pm: waking %v thread %#x", t.State, thrd))
+	}
+	t.State = ThreadRunnable
+	t.IPC.Err = err
+	m.sched.enqueue(t)
+}
+
+// MarkExited transitions a thread to exited and removes it from the
+// scheduler. The thread object itself is freed by FreeThread.
+func (m *ProcessManager) MarkExited(thrd Ptr) {
+	t := m.Thrd(thrd)
+	m.sched.remove(t)
+	t.State = ThreadExited
+}

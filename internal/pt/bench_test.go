@@ -1,0 +1,96 @@
+package pt
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/mem"
+)
+
+func benchTable(b *testing.B, frames int) (*PageTable, *mem.Allocator, *hw.MMU) {
+	b.Helper()
+	pm := hw.NewPhysMem(frames)
+	clk := &hw.Clock{}
+	alloc := mem.NewAllocator(pm, clk, 1)
+	t, err := New(alloc, clk)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return t, alloc, hw.NewMMU(pm)
+}
+
+func BenchmarkMapUnmap4K(b *testing.B) {
+	t, alloc, _ := benchTable(b, 256)
+	phys, err := alloc.AllocUserPage4K()
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm intermediates.
+	if err := t.Map4K(0x400000, phys, RW); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := t.Unmap(0x400000); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.Map4K(0x400000, phys, RW); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := t.Unmap(0x400000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkResolve(b *testing.B) {
+	t, alloc, _ := benchTable(b, 512)
+	for i := 0; i < 64; i++ {
+		p, err := alloc.AllocUserPage4K()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Map4K(hw.VirtAddr(0x400000+i*hw.PageSize4K), p, RW); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := t.Resolve(hw.VirtAddr(0x400000 + (i%64)*hw.PageSize4K)); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+func BenchmarkCheckRefinement(b *testing.B) {
+	t, alloc, mmu := benchTable(b, 2048)
+	for i := 0; i < 1024; i++ {
+		p, err := alloc.AllocUserPage4K()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := t.Map4K(hw.VirtAddr(0x400000+i*hw.PageSize4K), p, RW); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.CheckRefinement(mmu); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMMUWalk(b *testing.B) {
+	t, alloc, mmu := benchTable(b, 256)
+	p, _ := alloc.AllocUserPage4K()
+	if err := t.Map4K(0x400000, p, RW); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := mmu.Walk(t.CR3(), 0x400123); !ok {
+			b.Fatal("walk failed")
+		}
+	}
+}

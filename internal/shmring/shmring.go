@@ -1,0 +1,140 @@
+// Package shmring is the single-producer single-consumer shared-memory
+// descriptor ring Atmosphere processes use for asynchronous
+// communication (§3, §6.5): the atmo-c2 and atmo-c1 configurations put
+// one between the application and the driver process. The ring lives in
+// a shared page of simulated physical memory, so it exercises exactly
+// the cross-address-space sharing the kernel's page-transfer IPC
+// establishes.
+package shmring
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"atmosphere/internal/hw"
+)
+
+// Layout inside the shared page: 8-byte head, 8-byte tail, then slots of
+// 16 bytes (two 8-byte words per entry).
+const (
+	headOff  = 0
+	tailOff  = 8
+	slotsOff = 16
+	slotSize = 16
+)
+
+// Errors.
+var (
+	ErrFull  = errors.New("shmring: full")
+	ErrEmpty = errors.New("shmring: empty")
+)
+
+// Entry is one ring descriptor: an opaque pair of words (typically a
+// buffer address and a length/opcode).
+type Entry struct {
+	W0, W1 uint64
+}
+
+// Ring is one endpoint's view of the shared ring. Producer and consumer
+// construct their own Ring over the same physical page (each side maps
+// it into its address space; the physical address is what both views
+// share).
+type Ring struct {
+	mem   *hw.PhysMem
+	clock *hw.Clock
+	base  hw.PhysAddr
+	slots int
+}
+
+// Slots returns the capacity for a ring within one 4 KiB page.
+func SlotsPerPage() int { return (hw.PageSize4K - slotsOff) / slotSize }
+
+// New constructs a view over the shared page at base, charging ring
+// operations to clock.
+func New(mem *hw.PhysMem, clock *hw.Clock, base hw.PhysAddr, slots int) *Ring {
+	if slots <= 0 || slots > SlotsPerPage() {
+		slots = SlotsPerPage()
+	}
+	return &Ring{mem: mem, clock: clock, base: base, slots: slots}
+}
+
+func (r *Ring) head() uint64 { return r.mem.ReadU64(r.base + headOff) }
+func (r *Ring) tail() uint64 { return r.mem.ReadU64(r.base + tailOff) }
+
+// Len returns the number of queued entries.
+func (r *Ring) Len() int { return int(r.tail() - r.head()) }
+
+// Cap returns the ring capacity.
+func (r *Ring) Cap() int { return r.slots }
+
+// Push enqueues one entry (producer side).
+func (r *Ring) Push(e Entry) error {
+	head, tail := r.head(), r.tail()
+	if tail-head >= uint64(r.slots) {
+		return ErrFull
+	}
+	slot := r.base + hw.PhysAddr(slotsOff+int(tail%uint64(r.slots))*slotSize)
+	r.mem.WriteU64(slot, e.W0)
+	r.mem.WriteU64(slot+8, e.W1)
+	r.mem.WriteU64(r.base+tailOff, tail+1)
+	// Two cache lines: the slot and the tail (the consumer's next load
+	// of each misses).
+	r.clock.Charge(2 * hw.CostCacheTouch)
+	return nil
+}
+
+// Pop dequeues one entry (consumer side).
+func (r *Ring) Pop() (Entry, error) {
+	head, tail := r.head(), r.tail()
+	if head == tail {
+		return Entry{}, ErrEmpty
+	}
+	slot := r.base + hw.PhysAddr(slotsOff+int(head%uint64(r.slots))*slotSize)
+	e := Entry{W0: r.mem.ReadU64(slot), W1: r.mem.ReadU64(slot + 8)}
+	r.mem.WriteU64(r.base+headOff, head+1)
+	r.clock.Charge(2 * hw.CostCacheTouch)
+	return e, nil
+}
+
+// PushBatch enqueues up to len(es) entries, returning how many fit.
+func (r *Ring) PushBatch(es []Entry) int {
+	n := 0
+	for _, e := range es {
+		if r.Push(e) != nil {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// PopBatch dequeues up to max entries.
+func (r *Ring) PopBatch(dst []Entry) int {
+	n := 0
+	for n < len(dst) {
+		e, err := r.Pop()
+		if err != nil {
+			break
+		}
+		dst[n] = e
+		n++
+	}
+	return n
+}
+
+// Marshal helpers for buffer descriptors.
+
+// PackBufferDesc packs a DMA address and length into an entry.
+func PackBufferDesc(addr hw.PhysAddr, length uint16, op uint8) Entry {
+	var w1 [8]byte
+	binary.LittleEndian.PutUint16(w1[0:2], length)
+	w1[2] = op
+	return Entry{W0: uint64(addr), W1: binary.LittleEndian.Uint64(w1[:])}
+}
+
+// UnpackBufferDesc reverses PackBufferDesc.
+func UnpackBufferDesc(e Entry) (addr hw.PhysAddr, length uint16, op uint8) {
+	var w1 [8]byte
+	binary.LittleEndian.PutUint64(w1[:], e.W1)
+	return hw.PhysAddr(e.W0), binary.LittleEndian.Uint16(w1[0:2]), w1[2]
+}

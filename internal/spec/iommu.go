@@ -1,0 +1,109 @@
+package spec
+
+import (
+	"fmt"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+)
+
+// Specifications of the IOMMU syscalls (§3, §5).
+
+// IommuCreateSpec: on success the caller's process gains a DMA domain
+// with an empty translation map; the container is charged one page for
+// the domain's translation root; everything else is unchanged.
+func IommuCreateSpec(old, new State, tid Ptr, ret kernel.Ret) error {
+	if ret.Errno != kernel.OK {
+		return check(Unchanged(old, new), "iommu_create-fail changed state")
+	}
+	t, okCaller := old.Threads[tid]
+	if !okCaller {
+		return fmt.Errorf("iommu_create succeeded for unknown thread")
+	}
+	proc := t.OwningProc
+	op, np := old.Procs[proc], new.Procs[proc]
+	cntr := op.Owner
+	oc, nc := old.Containers[cntr], new.Containers[cntr]
+	dom := np.IOMMUDomain
+	if err := firstErr(
+		check(op.IOMMUDomain == 0, "process already had a domain"),
+		check(dom != 0 && uint64(dom) == ret.Vals[0], "domain id not returned"),
+		check(len(new.DMASpaces[dom]) == 0, "fresh domain has mappings"),
+		check(nc.UsedPages == oc.UsedPages+1, "container charged %d, want 1",
+			nc.UsedPages-oc.UsedPages),
+	); err != nil {
+		return err
+	}
+	return firstErr(
+		threadsUnchangedModSched(old, new),
+		check(ProcsUnchangedExcept(old, new, proc), "iommu_create changed another process"),
+		check(EndpointsUnchangedExcept(old, new), "iommu_create changed an endpoint"),
+		check(SpacesUnchangedExcept(old, new), "iommu_create changed an address space"),
+		check(ContainersUnchangedExcept(old, new, cntr), "iommu_create changed another container"),
+	)
+}
+
+// IommuMapSpec: on success the caller's domain gains exactly the
+// mapping iova=va -> the frame backing va in the caller's address
+// space; the frame's reference count rises by one (the DMA pin);
+// the container pays for any new translation-table nodes.
+func IommuMapSpec(old, new State, tid Ptr, va hw.VirtAddr, ret kernel.Ret) error {
+	if ret.Errno != kernel.OK {
+		return nil // failure paths validated by WF + fail frames elsewhere
+	}
+	t := old.Threads[tid]
+	proc := t.OwningProc
+	dom := old.Procs[proc].IOMMUDomain
+	if dom == 0 {
+		return fmt.Errorf("iommu_map succeeded without a domain")
+	}
+	oldD, newD := old.DMASpaces[dom], new.DMASpaces[dom]
+	if len(newD) != len(oldD)+1 {
+		return fmt.Errorf("iommu_map grew domain by %d", len(newD)-len(oldD))
+	}
+	e, ok := newD[va]
+	if !ok {
+		return fmt.Errorf("iommu_map did not map %#x", va)
+	}
+	ase, ok := old.AddressSpaces[proc][va]
+	if !ok || ase.Phys != e.Phys {
+		return fmt.Errorf("iommu_map mapped %#x, address space says %#x", e.Phys, ase.Phys)
+	}
+	for ova, oe := range oldD {
+		ne, still := newD[ova]
+		if !still || ne != oe {
+			return fmt.Errorf("iommu_map changed existing DMA mapping %#x", ova)
+		}
+	}
+	return firstErr(
+		threadsUnchangedModSched(old, new),
+		check(ProcsUnchangedExcept(old, new), "iommu_map changed a process"),
+		check(EndpointsUnchangedExcept(old, new), "iommu_map changed an endpoint"),
+		check(SpacesUnchangedExcept(old, new), "iommu_map changed an address space"),
+	)
+}
+
+// IommuUnmapSpec: on success exactly the mapping at va disappears from
+// the caller's domain and the pin is released.
+func IommuUnmapSpec(old, new State, tid Ptr, va hw.VirtAddr, ret kernel.Ret) error {
+	if ret.Errno != kernel.OK {
+		return nil
+	}
+	t := old.Threads[tid]
+	dom := old.Procs[t.OwningProc].IOMMUDomain
+	oldD, newD := old.DMASpaces[dom], new.DMASpaces[dom]
+	if _, was := oldD[va]; !was {
+		return fmt.Errorf("iommu_unmap succeeded on unmapped %#x", va)
+	}
+	if _, still := newD[va]; still {
+		return fmt.Errorf("iommu_unmap left %#x mapped", va)
+	}
+	if len(newD) != len(oldD)-1 {
+		return fmt.Errorf("iommu_unmap changed domain size by %d", len(oldD)-len(newD))
+	}
+	return firstErr(
+		threadsUnchangedModSched(old, new),
+		check(ProcsUnchangedExcept(old, new), "iommu_unmap changed a process"),
+		check(SpacesUnchangedExcept(old, new), "iommu_unmap changed an address space"),
+	)
+}

@@ -1,0 +1,406 @@
+package spec
+
+import (
+	"fmt"
+
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/pm"
+)
+
+// Specifications of the IPC and destruction syscalls.
+
+// SendSpec: a blocking send (EWOULDBLOCK) queues the caller on the
+// endpoint with direction "senders"; a completing send wakes exactly one
+// previously blocked receiver, delivering the scalar registers and any
+// page/endpoint capabilities; everything else is unchanged.
+func SendSpec(old, new State, tid Ptr, slot int, args kernel.SendArgs, ret kernel.Ret) error {
+	ot, okCaller := old.Threads[tid]
+	if !okCaller || slot < 0 || slot >= pm.MaxEndpoints || ot.Endpoints[slot] == 0 {
+		return check(ret.Errno != kernel.OK && ret.Errno != kernel.EWOULDBLOCK,
+			"send on invalid slot did not fail")
+	}
+	ep := ot.Endpoints[slot]
+	switch ret.Errno {
+	case kernel.EWOULDBLOCK:
+		nt := new.Threads[tid]
+		oe, ne := old.Endpoints[ep], new.Endpoints[ep]
+		if err := firstErr(
+			check(nt.State == pm.ThreadBlockedSend, "blocked sender state = %v", nt.State),
+			check(nt.WaitingOn == ep, "blocked sender waits on %#x", nt.WaitingOn),
+			check(len(ne.Queue) == len(oe.Queue)+1 &&
+				ne.Queue[len(ne.Queue)-1] == tid, "sender not queued"),
+			check(!ne.QueuedRecv, "queue direction wrong after blocking send"),
+			threadsUnchangedModSched(old, new, tid),
+			check(EndpointsUnchangedExcept(old, new, ep), "blocking send changed another endpoint"),
+			check(ProcsUnchangedExcept(old, new), "blocking send changed a process"),
+			check(ContainersUnchangedExcept(old, new), "blocking send changed a container"),
+			check(SpacesUnchangedExcept(old, new), "blocking send changed an address space"),
+		); err != nil {
+			return err
+		}
+		return nil
+	case kernel.OK:
+		return rendezvousDeliverSpec(old, new, tid, ep, args.Regs, args.SendPage, args.SendEdpt)
+	default:
+		return nil // validation failures are covered by WF + fail frames elsewhere
+	}
+}
+
+// rendezvousDeliverSpec checks a completed sender->receiver handoff: the
+// receiver at the head of the endpoint queue is woken with the message.
+func rendezvousDeliverSpec(old, new State, sender, ep Ptr, regs [4]uint64, hasPage, hasEdpt bool) error {
+	oe, ne := old.Endpoints[ep], new.Endpoints[ep]
+	if err := check(oe.QueuedRecv && len(oe.Queue) > 0,
+		"send completed with no waiting receiver"); err != nil {
+		return err
+	}
+	recv := oe.Queue[0]
+	nrt := new.Threads[recv]
+	if err := firstErr(
+		check(ptrsEqual(ne.Queue, oe.Queue[1:]), "receiver not dequeued"),
+		check(nrt.State == pm.ThreadRunnable || nrt.State == pm.ThreadRunning,
+			"woken receiver state = %v", nrt.State),
+		check(nrt.WaitingOn == 0, "woken receiver still waiting"),
+	); err != nil {
+		return err
+	}
+	// The receiver's address space gains at most the transferred page;
+	// the scalars land in its IPC state (checked concretely by kernel
+	// tests; the abstract view tracks structure).
+	exceptSpaces := []Ptr{}
+	if hasPage {
+		exceptSpaces = append(exceptSpaces, new.Threads[recv].OwningProc)
+		oAS := old.AddressSpaces[old.Threads[recv].OwningProc]
+		nAS := new.AddressSpaces[new.Threads[recv].OwningProc]
+		if len(nAS) > len(oAS)+1 {
+			return fmt.Errorf("page transfer grew receiver space by %d", len(nAS)-len(oAS))
+		}
+	}
+	exceptCntrs := []Ptr{}
+	if hasPage {
+		exceptCntrs = append(exceptCntrs, new.Threads[recv].OwningCntr)
+	}
+	exceptThreads := []Ptr{sender, recv}
+	return firstErr(
+		threadsUnchangedModSched(old, new, exceptThreads...),
+		check(ProcsUnchangedExcept(old, new), "delivery changed a process"),
+		check(SpacesUnchangedExcept(old, new, exceptSpaces...), "delivery changed an unrelated space"),
+		check(ContainersUnchangedExcept(old, new, exceptCntrs...), "delivery changed an unrelated container"),
+		endpointsUnchangedModRefs(old, new, ep, hasEdpt),
+	)
+}
+
+// endpointsUnchangedModRefs allows exactly the rendezvous endpoint's
+// queue change, plus one refcount increment on a transferred endpoint.
+func endpointsUnchangedModRefs(old, new State, ep Ptr, hasEdpt bool) error {
+	bumped := 0
+	for p, oe := range old.Endpoints {
+		nep, ok := new.Endpoints[p]
+		if !ok {
+			return fmt.Errorf("endpoint %#x disappeared during IPC", p)
+		}
+		if p == ep {
+			continue
+		}
+		if EndpointEqual(oe, nep) {
+			continue
+		}
+		if hasEdpt && nep.RefCount == oe.RefCount+1 &&
+			EndpointEqual(oe, Endpoint{Queue: nep.Queue, QueuedRecv: nep.QueuedRecv,
+				RefCount: oe.RefCount, OwnerCntr: nep.OwnerCntr}) {
+			bumped++
+			continue
+		}
+		return fmt.Errorf("IPC changed unrelated endpoint %#x", p)
+	}
+	if hasEdpt && bumped > 1 {
+		return fmt.Errorf("IPC bumped %d endpoints", bumped)
+	}
+	return nil
+}
+
+// RecvSpec: a blocking recv queues the caller with direction
+// "receivers"; a completing recv dequeues exactly one blocked sender,
+// wakes it, and delivers its message to the caller.
+func RecvSpec(old, new State, tid Ptr, slot int, args kernel.RecvArgs, ret kernel.Ret) error {
+	ot, okCaller := old.Threads[tid]
+	if !okCaller || slot < 0 || slot >= pm.MaxEndpoints || ot.Endpoints[slot] == 0 {
+		return check(ret.Errno != kernel.OK && ret.Errno != kernel.EWOULDBLOCK,
+			"recv on invalid slot did not fail")
+	}
+	ep := ot.Endpoints[slot]
+	switch ret.Errno {
+	case kernel.EWOULDBLOCK:
+		nt := new.Threads[tid]
+		oe, ne := old.Endpoints[ep], new.Endpoints[ep]
+		return firstErr(
+			check(nt.State == pm.ThreadBlockedRecv, "blocked receiver state = %v", nt.State),
+			check(nt.WaitingOn == ep, "blocked receiver waits on %#x", nt.WaitingOn),
+			check(len(ne.Queue) == len(oe.Queue)+1 &&
+				ne.Queue[len(ne.Queue)-1] == tid, "receiver not queued"),
+			check(ne.QueuedRecv, "queue direction wrong after blocking recv"),
+			threadsUnchangedModSched(old, new, tid),
+			check(EndpointsUnchangedExcept(old, new, ep), "blocking recv changed another endpoint"),
+			check(ProcsUnchangedExcept(old, new), "blocking recv changed a process"),
+			check(ContainersUnchangedExcept(old, new), "blocking recv changed a container"),
+			check(SpacesUnchangedExcept(old, new), "blocking recv changed an address space"),
+		)
+	case kernel.OK:
+		oe := old.Endpoints[ep]
+		if err := check(!oe.QueuedRecv && len(oe.Queue) > 0,
+			"recv completed with no waiting sender"); err != nil {
+			return err
+		}
+		sender := oe.Queue[0]
+		nst := new.Threads[sender]
+		exceptSpaces := []Ptr{ot.OwningProc}
+		exceptCntrs := []Ptr{ot.OwningCntr}
+		return firstErr(
+			check(nst.State == pm.ThreadRunnable || nst.State == pm.ThreadRunning,
+				"woken sender state = %v", nst.State),
+			check(nst.WaitingOn == 0, "woken sender still waiting"),
+			check(ptrsEqual(new.Endpoints[ep].Queue, oe.Queue[1:]), "sender not dequeued"),
+			threadsUnchangedModSched(old, new, tid, sender),
+			check(ProcsUnchangedExcept(old, new), "recv changed a process"),
+			check(SpacesUnchangedExcept(old, new, exceptSpaces...), "recv changed an unrelated space"),
+			check(ContainersUnchangedExcept(old, new, exceptCntrs...), "recv changed an unrelated container"),
+		)
+	default:
+		return nil
+	}
+}
+
+// CallReplySpec checks the call fastpath: the server (head of the
+// receiver queue) is woken with the request and the caller ends blocked
+// receiving on the same endpoint.
+func CallReplySpec(old, new State, tid Ptr, slot int, ret kernel.Ret) error {
+	ot, okCaller := old.Threads[tid]
+	if !okCaller || slot < 0 || slot >= pm.MaxEndpoints || ot.Endpoints[slot] == 0 {
+		return nil
+	}
+	ep := ot.Endpoints[slot]
+	oe := old.Endpoints[ep]
+	if ret.Errno != kernel.EWOULDBLOCK {
+		return nil
+	}
+	if !oe.QueuedRecv || len(oe.Queue) == 0 {
+		// Refused fastpath: nothing changed.
+		return check(Unchanged(old, new), "refused call changed state")
+	}
+	server := oe.Queue[0]
+	nt := new.Threads[tid]
+	nst := new.Threads[server]
+	ne := new.Endpoints[ep]
+	return firstErr(
+		check(nt.State == pm.ThreadBlockedRecv && nt.WaitingOn == ep,
+			"caller not blocked for reply"),
+		check(nst.State == pm.ThreadRunnable || nst.State == pm.ThreadRunning,
+			"server not woken"),
+		check(len(ne.Queue) == len(oe.Queue) && ne.Queue[len(ne.Queue)-1] == tid,
+			"caller not queued for reply"),
+		threadsUnchangedModSched(old, new, tid, server),
+		check(ProcsUnchangedExcept(old, new), "call changed a process"),
+		check(ContainersUnchangedExcept(old, new), "call changed a container"),
+		check(SpacesUnchangedExcept(old, new), "call changed an address space"),
+	)
+}
+
+// ReplyRecvSpec checks the combined reply+receive fastpath: the waiting
+// client (head of the receiver queue) is woken with the reply, and the
+// caller ends the transition blocked receiving on the same endpoint
+// (or completes inline against an already-queued sender).
+func ReplyRecvSpec(old, new State, tid Ptr, slot int, ret kernel.Ret) error {
+	ot, okCaller := old.Threads[tid]
+	if !okCaller || slot < 0 || slot >= pm.MaxEndpoints || ot.Endpoints[slot] == 0 {
+		return check(ret.Errno != kernel.OK && ret.Errno != kernel.EWOULDBLOCK,
+			"reply_recv on invalid slot did not fail")
+	}
+	ep := ot.Endpoints[slot]
+	oe := old.Endpoints[ep]
+	switch ret.Errno {
+	case kernel.EWOULDBLOCK:
+		nt := new.Threads[tid]
+		ne := new.Endpoints[ep]
+		if err := firstErr(
+			check(nt.State == pm.ThreadBlockedRecv, "server not blocked: %v", nt.State),
+			check(nt.WaitingOn == ep, "server waits on %#x", nt.WaitingOn),
+			check(len(ne.Queue) > 0 && ne.Queue[len(ne.Queue)-1] == tid,
+				"server not queued for the next request"),
+			check(ne.QueuedRecv, "queue direction wrong"),
+		); err != nil {
+			return err
+		}
+		// If a client was waiting, it must have been woken.
+		if oe.QueuedRecv && len(oe.Queue) > 0 {
+			client := oe.Queue[0]
+			nct := new.Threads[client]
+			if err := firstErr(
+				check(nct.State == pm.ThreadRunnable || nct.State == pm.ThreadRunning,
+					"client not woken: %v", nct.State),
+				check(nct.WaitingOn == 0, "client still waiting"),
+				threadsUnchangedModSched(old, new, tid, client),
+			); err != nil {
+				return err
+			}
+		} else if err := threadsUnchangedModSched(old, new, tid); err != nil {
+			return err
+		}
+		return firstErr(
+			check(ProcsUnchangedExcept(old, new), "reply_recv changed a process"),
+			check(ContainersUnchangedExcept(old, new), "reply_recv changed a container"),
+			check(SpacesUnchangedExcept(old, new), "reply_recv changed an address space"),
+		)
+	case kernel.OK:
+		// Inline completion against a queued sender.
+		return check(!oe.QueuedRecv && len(oe.Queue) > 0,
+			"reply_recv completed inline with no queued sender")
+	default:
+		return nil
+	}
+}
+
+// KillContainerSpec: on success the whole subtree of the target vanishes
+// (containers, processes, threads, their endpoints, address spaces); the
+// parent's quota reflects the harvest; containers outside the subtree
+// and off the ancestor path are unchanged except endpoint-descriptor
+// revocations and waiter wakeups caused by dying endpoints.
+func KillContainerSpec(old, new State, tid Ptr, target Ptr, ret kernel.Ret) error {
+	if ret.Errno != kernel.OK {
+		return nil // denial paths leave state unchanged modulo nothing; WF covers the rest
+	}
+	oc, existed := old.Containers[target]
+	if !existed {
+		return fmt.Errorf("kill succeeded on unknown container")
+	}
+	dead := map[Ptr]bool{target: true}
+	for s := range oc.Subtree {
+		dead[s] = true
+	}
+	// Every dead container, its processes, and its threads are gone.
+	for c := range dead {
+		if _, still := new.Containers[c]; still {
+			return fmt.Errorf("container %#x survived subtree kill", c)
+		}
+	}
+	for p, op := range old.Procs {
+		if dead[op.Owner] {
+			if _, still := new.Procs[p]; still {
+				return fmt.Errorf("process %#x survived container kill", p)
+			}
+			if _, still := new.AddressSpaces[p]; still {
+				return fmt.Errorf("address space of %#x survived", p)
+			}
+		}
+	}
+	for th, oth := range old.Threads {
+		if dead[oth.OwningCntr] {
+			if _, still := new.Threads[th]; still {
+				return fmt.Errorf("thread %#x survived container kill", th)
+			}
+		}
+	}
+	for e, oep := range old.Endpoints {
+		if dead[oep.OwnerCntr] {
+			if _, still := new.Endpoints[e]; still {
+				return fmt.Errorf("endpoint %#x survived container kill", e)
+			}
+		}
+	}
+	// The parent is credited the carved quota.
+	parent := oc.Parent
+	opc, npc := old.Containers[parent], new.Containers[parent]
+	if npc.UsedPages != opc.UsedPages-oc.QuotaPages {
+		return fmt.Errorf("parent quota %d -> %d, want -%d",
+			opc.UsedPages, npc.UsedPages, oc.QuotaPages)
+	}
+	// Surviving containers keep their quota accounting; surviving
+	// address spaces are untouched.
+	for p, os := range old.AddressSpaces {
+		if dead[old.Procs[p].Owner] {
+			continue
+		}
+		if !SpaceEqual(os, new.AddressSpaces[p]) {
+			return fmt.Errorf("surviving address space %#x changed", p)
+		}
+	}
+	for c, occ := range old.Containers {
+		if dead[c] || c == parent {
+			continue
+		}
+		ncc, ok := new.Containers[c]
+		if !ok {
+			return fmt.Errorf("container %#x outside subtree disappeared", c)
+		}
+		if occ.QuotaPages != ncc.QuotaPages || occ.UsedPages != ncc.UsedPages {
+			return fmt.Errorf("container %#x accounting changed", c)
+		}
+	}
+	// No dangling references: surviving threads' descriptors and
+	// surviving endpoint queues never name dead objects.
+	for th, nth := range new.Threads {
+		for _, e := range nth.Endpoints {
+			if e == 0 {
+				continue
+			}
+			if _, ok := new.Endpoints[e]; !ok {
+				return fmt.Errorf("thread %#x holds dangling endpoint %#x", th, e)
+			}
+		}
+	}
+	for e, nep := range new.Endpoints {
+		for _, q := range nep.Queue {
+			if _, ok := new.Threads[q]; !ok {
+				return fmt.Errorf("endpoint %#x queues dead thread %#x", e, q)
+			}
+		}
+	}
+	return nil
+}
+
+// KillProcessSpec: the target process subtree vanishes; the container is
+// credited for every reclaimed page; other processes are unchanged.
+func KillProcessSpec(old, new State, tid Ptr, target Ptr, ret kernel.Ret) error {
+	if ret.Errno != kernel.OK {
+		return nil
+	}
+	op, existed := old.Procs[target]
+	if !existed {
+		return fmt.Errorf("kill_proc succeeded on unknown process")
+	}
+	// Collect the abstract process subtree.
+	dead := map[Ptr]bool{}
+	var mark func(p Ptr)
+	mark = func(p Ptr) {
+		dead[p] = true
+		for _, ch := range old.Procs[p].Children {
+			mark(ch)
+		}
+	}
+	mark(target)
+	for p := range dead {
+		if _, still := new.Procs[p]; still {
+			return fmt.Errorf("process %#x survived kill", p)
+		}
+	}
+	for th, oth := range old.Threads {
+		if dead[oth.OwningProc] {
+			if _, still := new.Threads[th]; still {
+				return fmt.Errorf("thread %#x survived process kill", th)
+			}
+		}
+	}
+	cntr := op.Owner
+	occ, ncc := old.Containers[cntr], new.Containers[cntr]
+	if ncc.UsedPages >= occ.UsedPages {
+		return fmt.Errorf("kill_proc did not credit the container")
+	}
+	exceptProcs := make([]Ptr, 0, len(dead)+1)
+	for p := range dead {
+		exceptProcs = append(exceptProcs, p)
+	}
+	if op.Parent != 0 {
+		exceptProcs = append(exceptProcs, op.Parent)
+	}
+	return check(ProcsUnchangedExcept(old, new, exceptProcs...),
+		"kill_proc changed unrelated process")
+}

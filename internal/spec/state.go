@@ -1,0 +1,391 @@
+// Package spec defines the abstract state of the Atmosphere kernel — the
+// paper's Ψ — and the executable specification of every system call.
+//
+// In the paper, the abstract state is ghost data maintained by Verus and
+// the syscall specifications are spec functions discharged statically by
+// the SMT solver. Here the abstract state is a plain value produced by an
+// abstraction function over the concrete kernel, and each specification
+// is an executable predicate over (Ψ, Ψ', args, ret). internal/verify
+// evaluates these predicates after every transition of a checked trace —
+// the dynamic analogue of the refinement theorem (§4).
+//
+// The specifications are deliberately written in the paper's "flat" style:
+// they quantify over the flat object maps directly (all threads, all
+// containers) instead of navigating the object hierarchy (§4.3).
+package spec
+
+import (
+	"sort"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/iommu"
+	"atmosphere/internal/mem"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/pt"
+)
+
+// Ptr re-exports the kernel object pointer type.
+type Ptr = pm.Ptr
+
+// Container is the abstract view of one container.
+type Container struct {
+	Parent       Ptr
+	Children     []Ptr
+	Depth        int
+	Path         []Ptr
+	Subtree      map[Ptr]bool
+	QuotaPages   uint64
+	UsedPages    uint64
+	CPUs         []int
+	Procs        map[Ptr]bool
+	OwnedThreads map[Ptr]bool
+}
+
+// Proc is the abstract view of one process.
+type Proc struct {
+	Owner       Ptr
+	Parent      Ptr
+	Children    []Ptr
+	Threads     []Ptr
+	IOMMUDomain iommu.DomainID
+}
+
+// Thread is the abstract view of one thread.
+type Thread struct {
+	OwningProc Ptr
+	OwningCntr Ptr
+	State      pm.ThreadState
+	Core       int
+	Endpoints  [pm.MaxEndpoints]Ptr
+	WaitingOn  Ptr
+}
+
+// Endpoint is the abstract view of one endpoint.
+type Endpoint struct {
+	Queue      []Ptr
+	QueuedRecv bool
+	RefCount   int
+	OwnerCntr  Ptr
+}
+
+// State is the abstract kernel state Ψ.
+type State struct {
+	RootContainer Ptr
+	Containers    map[Ptr]Container
+	Procs         map[Ptr]Proc
+	Threads       map[Ptr]Thread
+	Endpoints     map[Ptr]Endpoint
+
+	// AddressSpaces maps each process to its abstract address space —
+	// the Ψ.get_address_space(proc) of Listing 1.
+	AddressSpaces map[Ptr]map[hw.VirtAddr]pt.MapEntry
+
+	// DMASpaces maps each IOMMU domain to its translation map.
+	DMASpaces map[iommu.DomainID]map[hw.VirtAddr]pt.MapEntry
+
+	// Mem is the allocator's abstract state (free/allocated/mapped/
+	// merged page sets).
+	Mem mem.Snapshot
+}
+
+// Abstract is the abstraction function: it builds Ψ from the concrete
+// kernel components. It performs deep copies so a retained State is a
+// true snapshot.
+func Abstract(p *pm.ProcessManager, alloc *mem.Allocator, iom *iommu.IOMMU) State {
+	st := State{
+		RootContainer: p.RootContainer,
+		Containers:    make(map[Ptr]Container, len(p.CntrPerms)),
+		Procs:         make(map[Ptr]Proc, len(p.ProcPerms)),
+		Threads:       make(map[Ptr]Thread, len(p.ThrdPerms)),
+		Endpoints:     make(map[Ptr]Endpoint, len(p.EdptPerms)),
+		AddressSpaces: make(map[Ptr]map[hw.VirtAddr]pt.MapEntry, len(p.ProcPerms)),
+		DMASpaces:     make(map[iommu.DomainID]map[hw.VirtAddr]pt.MapEntry),
+		Mem:           alloc.Snapshot(),
+	}
+	for ptr, c := range p.CntrPerms {
+		ac := Container{
+			Parent:       c.Parent,
+			Children:     append([]Ptr(nil), c.Children...),
+			Depth:        c.Depth,
+			Path:         append([]Ptr(nil), c.Path...),
+			Subtree:      make(map[Ptr]bool, len(c.Subtree)),
+			QuotaPages:   c.QuotaPages,
+			UsedPages:    c.UsedPages,
+			CPUs:         append([]int(nil), c.CPUs...),
+			Procs:        make(map[Ptr]bool, len(c.Procs)),
+			OwnedThreads: make(map[Ptr]bool, len(c.OwnedThreads)),
+		}
+		for s := range c.Subtree {
+			ac.Subtree[s] = true
+		}
+		for s := range c.Procs {
+			ac.Procs[s] = true
+		}
+		for s := range c.OwnedThreads {
+			ac.OwnedThreads[s] = true
+		}
+		st.Containers[ptr] = ac
+	}
+	for ptr, pr := range p.ProcPerms {
+		st.Procs[ptr] = Proc{
+			Owner:       pr.Owner,
+			Parent:      pr.Parent,
+			Children:    append([]Ptr(nil), pr.Children...),
+			Threads:     append([]Ptr(nil), pr.Threads...),
+			IOMMUDomain: pr.IOMMUDomain,
+		}
+		st.AddressSpaces[ptr] = pr.PageTable.AddressSpace()
+	}
+	for ptr, t := range p.ThrdPerms {
+		st.Threads[ptr] = Thread{
+			OwningProc: t.OwningProc,
+			OwningCntr: t.OwningCntr,
+			State:      t.State,
+			Core:       t.Core,
+			Endpoints:  t.Endpoints,
+			WaitingOn:  t.IPC.WaitingOn,
+		}
+	}
+	for ptr, e := range p.EdptPerms {
+		st.Endpoints[ptr] = Endpoint{
+			Queue:      append([]Ptr(nil), e.Queue...),
+			QueuedRecv: e.QueuedRecv,
+			RefCount:   e.RefCount,
+			OwnerCntr:  e.OwnerCntr,
+		}
+	}
+	if iom != nil {
+		for id, d := range iom.Domains() {
+			st.DMASpaces[id] = d.Table.AddressSpace()
+		}
+	}
+	return st
+}
+
+// --- equality helpers (the frame conditions of every specification) ---------
+
+func ptrsEqual(a, b []Ptr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func setsEqual(a, b map[Ptr]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainerEqual reports full equality of two abstract containers.
+func ContainerEqual(a, b Container) bool {
+	return a.Parent == b.Parent && a.Depth == b.Depth &&
+		a.QuotaPages == b.QuotaPages && a.UsedPages == b.UsedPages &&
+		ptrsEqual(a.Children, b.Children) && ptrsEqual(a.Path, b.Path) &&
+		setsEqual(a.Subtree, b.Subtree) && intsEqual(a.CPUs, b.CPUs) &&
+		setsEqual(a.Procs, b.Procs) && setsEqual(a.OwnedThreads, b.OwnedThreads)
+}
+
+// ProcEqual reports full equality of two abstract processes.
+func ProcEqual(a, b Proc) bool {
+	return a.Owner == b.Owner && a.Parent == b.Parent &&
+		a.IOMMUDomain == b.IOMMUDomain &&
+		ptrsEqual(a.Children, b.Children) && ptrsEqual(a.Threads, b.Threads)
+}
+
+// ThreadEqual reports full equality of two abstract threads.
+func ThreadEqual(a, b Thread) bool {
+	return a == b
+}
+
+// EndpointEqual reports full equality of two abstract endpoints.
+func EndpointEqual(a, b Endpoint) bool {
+	return a.QueuedRecv == b.QueuedRecv && a.RefCount == b.RefCount &&
+		a.OwnerCntr == b.OwnerCntr && ptrsEqual(a.Queue, b.Queue)
+}
+
+// SpaceEqual reports equality of two abstract address spaces.
+func SpaceEqual(a, b map[hw.VirtAddr]pt.MapEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for va, e := range a {
+		if be, ok := b[va]; !ok || be != e {
+			return false
+		}
+	}
+	return true
+}
+
+// ContainersUnchangedExcept checks the container frame condition: every
+// container not listed in except is present in both states and equal.
+func ContainersUnchangedExcept(old, new State, except ...Ptr) bool {
+	ex := make(map[Ptr]bool, len(except))
+	for _, p := range except {
+		ex[p] = true
+	}
+	for ptr, oc := range old.Containers {
+		if ex[ptr] {
+			continue
+		}
+		nc, ok := new.Containers[ptr]
+		if !ok || !ContainerEqual(oc, nc) {
+			return false
+		}
+	}
+	for ptr := range new.Containers {
+		if !ex[ptr] {
+			if _, ok := old.Containers[ptr]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ProcsUnchangedExcept checks the process frame condition.
+func ProcsUnchangedExcept(old, new State, except ...Ptr) bool {
+	ex := make(map[Ptr]bool, len(except))
+	for _, p := range except {
+		ex[p] = true
+	}
+	for ptr, op := range old.Procs {
+		if ex[ptr] {
+			continue
+		}
+		np, ok := new.Procs[ptr]
+		if !ok || !ProcEqual(op, np) {
+			return false
+		}
+	}
+	for ptr := range new.Procs {
+		if !ex[ptr] {
+			if _, ok := old.Procs[ptr]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ThreadsUnchangedExcept checks the Listing 1 thread frame condition:
+// thread_dom() is preserved (modulo except) and every unexcepted thread
+// is unchanged.
+func ThreadsUnchangedExcept(old, new State, except ...Ptr) bool {
+	ex := make(map[Ptr]bool, len(except))
+	for _, p := range except {
+		ex[p] = true
+	}
+	for ptr, ot := range old.Threads {
+		if ex[ptr] {
+			continue
+		}
+		nt, ok := new.Threads[ptr]
+		if !ok || !ThreadEqual(ot, nt) {
+			return false
+		}
+	}
+	for ptr := range new.Threads {
+		if !ex[ptr] {
+			if _, ok := old.Threads[ptr]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// EndpointsUnchangedExcept checks the endpoint frame condition.
+func EndpointsUnchangedExcept(old, new State, except ...Ptr) bool {
+	ex := make(map[Ptr]bool, len(except))
+	for _, p := range except {
+		ex[p] = true
+	}
+	for ptr, oe := range old.Endpoints {
+		if ex[ptr] {
+			continue
+		}
+		ne, ok := new.Endpoints[ptr]
+		if !ok || !EndpointEqual(oe, ne) {
+			return false
+		}
+	}
+	for ptr := range new.Endpoints {
+		if !ex[ptr] {
+			if _, ok := old.Endpoints[ptr]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SpacesUnchangedExcept checks the address-space frame condition.
+func SpacesUnchangedExcept(old, new State, except ...Ptr) bool {
+	ex := make(map[Ptr]bool, len(except))
+	for _, p := range except {
+		ex[p] = true
+	}
+	for ptr, os := range old.AddressSpaces {
+		if ex[ptr] {
+			continue
+		}
+		ns, ok := new.AddressSpaces[ptr]
+		if !ok || !SpaceEqual(os, ns) {
+			return false
+		}
+	}
+	return true
+}
+
+// Unchanged reports that old and new are observationally identical:
+// every object map, address space, and the memory snapshot agree.
+func Unchanged(old, new State) bool {
+	return ContainersUnchangedExcept(old, new) &&
+		ProcsUnchangedExcept(old, new) &&
+		ThreadsUnchangedExcept(old, new) &&
+		EndpointsUnchangedExcept(old, new) &&
+		SpacesUnchangedExcept(old, new) &&
+		MemEqual(old.Mem, new.Mem)
+}
+
+// MemEqual compares two allocator snapshots.
+func MemEqual(a, b mem.Snapshot) bool {
+	return a.Free4K.Equal(b.Free4K) && a.Free2M.Equal(b.Free2M) &&
+		a.Free1G.Equal(b.Free1G) && a.Allocated.Equal(b.Allocated) &&
+		a.Mapped.Equal(b.Mapped) && a.Merged.Equal(b.Merged) &&
+		a.Boot.Equal(b.Boot)
+}
+
+// SortedPtrs returns the keys of a pointer set in ascending order.
+func SortedPtrs(s map[Ptr]bool) []Ptr {
+	out := make([]Ptr, 0, len(s))
+	for p := range s {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

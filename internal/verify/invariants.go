@@ -1,0 +1,589 @@
+// Package verify is the repository's substitute for Verus: the executable
+// checker for Atmosphere's two theorems (§4) — refinement (every syscall
+// satisfies its specification, internal/spec) and well-formedness (the
+// global invariants hold after every transition).
+//
+// The invariants are written in the paper's flat, non-recursive style:
+// single passes over the flat permission maps (§4.1). Recursive variants
+// of the structural invariants live in recursive.go, used only by the
+// flat-vs-recursive ablation (§6.2).
+package verify
+
+import (
+	"fmt"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/mem"
+	"atmosphere/internal/pm"
+)
+
+// ContainerTreeWF is the flat structural invariant of the container tree
+// (container_tree_wf, §4.1): parent/child symmetry, depth and path
+// coherence, the path-prefix property, and subtree ghost exactness —
+// all expressed as direct loops over the flat container map.
+func ContainerTreeWF(k *kernel.Kernel) error {
+	cm := k.PM.CntrPerms
+	root, ok := cm[k.PM.RootContainer]
+	if !ok {
+		return fmt.Errorf("root container has no permission entry")
+	}
+	if root.Parent != 0 || root.Depth != 0 || len(root.Path) != 0 {
+		return fmt.Errorf("root container malformed")
+	}
+	for ptr, c := range cm {
+		if ptr == k.PM.RootContainer {
+			continue
+		}
+		p, ok := cm[c.Parent]
+		if !ok {
+			return fmt.Errorf("container %#x has dead parent %#x", ptr, c.Parent)
+		}
+		found := 0
+		for _, ch := range p.Children {
+			if ch == ptr {
+				found++
+			}
+		}
+		if found != 1 {
+			return fmt.Errorf("container %#x appears %d times in parent's children", ptr, found)
+		}
+		if c.Depth != p.Depth+1 {
+			return fmt.Errorf("container %#x depth %d, parent depth %d", ptr, c.Depth, p.Depth)
+		}
+		if len(c.Path) != c.Depth {
+			return fmt.Errorf("container %#x path length %d != depth %d", ptr, len(c.Path), c.Depth)
+		}
+		if len(c.Path) == 0 || c.Path[len(c.Path)-1] != c.Parent {
+			return fmt.Errorf("container %#x path does not end at parent", ptr)
+		}
+	}
+	// resolve_path_wf (§4.1): for any node n at depth d on c's path,
+	// c's subpath [0,d) equals n's path — checked flatly for all pairs.
+	for ptr, c := range cm {
+		for d, n := range c.Path {
+			nc, ok := cm[n]
+			if !ok {
+				return fmt.Errorf("container %#x path names dead container %#x", ptr, n)
+			}
+			if len(nc.Path) != d {
+				return fmt.Errorf("container %#x path[%d] has depth %d", ptr, d, len(nc.Path))
+			}
+			for i := 0; i < d; i++ {
+				if nc.Path[i] != c.Path[i] {
+					return fmt.Errorf("container %#x path prefix mismatch at %d", ptr, i)
+				}
+			}
+		}
+	}
+	// Children lists reference live containers whose parent is this one,
+	// and no container is the child of two parents.
+	childOf := make(map[pm.Ptr]pm.Ptr, len(cm))
+	for ptr, c := range cm {
+		for _, ch := range c.Children {
+			cc, ok := cm[ch]
+			if !ok {
+				return fmt.Errorf("container %#x lists dead child %#x", ptr, ch)
+			}
+			if cc.Parent != ptr {
+				return fmt.Errorf("child %#x parent pointer disagrees", ch)
+			}
+			if prev, dup := childOf[ch]; dup {
+				return fmt.Errorf("container %#x child of both %#x and %#x", ch, prev, ptr)
+			}
+			childOf[ch] = ptr
+		}
+	}
+	// Subtree ghost exactness, the flat way (§4.1): no per-node set
+	// reconstruction. Two facts pin the ghost down exactly:
+	//
+	//  1. containment: every node appears in the subtree of each of its
+	//     path ancestors (direct membership probes into the flat maps);
+	//  2. counting: Σ|c.Subtree| over all containers equals Σ depth(n)
+	//     over all nodes — each node belongs to exactly its depth(n)
+	//     ancestors' subtrees, so (1) plus this total rules out any
+	//     extra member anywhere.
+	//
+	// Together with the path coherence above, this is equivalent to the
+	// recursive union definition without ever materializing a set.
+	totalGhost := 0
+	totalDepth := 0
+	for ptr, c := range cm {
+		totalGhost += len(c.Subtree)
+		totalDepth += c.Depth
+		for _, anc := range c.Path {
+			if _, ok := cm[anc].Subtree[ptr]; !ok {
+				return fmt.Errorf("ancestor %#x subtree missing descendant %#x", anc, ptr)
+			}
+		}
+		// Members of a subtree must at least be live containers.
+		for s := range c.Subtree {
+			if _, ok := cm[s]; !ok {
+				return fmt.Errorf("container %#x subtree holds dead container %#x", ptr, s)
+			}
+		}
+	}
+	if totalGhost != totalDepth {
+		return fmt.Errorf("subtree ghosts hold %d memberships, path depths say %d",
+			totalGhost, totalDepth)
+	}
+	return nil
+}
+
+// ProcessesWF checks the process objects and the per-container process
+// trees: ownership symmetry, parent/child symmetry within one container,
+// and the owned_thrds ghost exactness.
+func ProcessesWF(k *kernel.Kernel) error {
+	pmgr := k.PM
+	for ptr, p := range pmgr.ProcPerms {
+		c, ok := pmgr.CntrPerms[p.Owner]
+		if !ok {
+			return fmt.Errorf("process %#x has dead owner %#x", ptr, p.Owner)
+		}
+		if _, ok := c.Procs[ptr]; !ok {
+			return fmt.Errorf("container %#x does not list process %#x", p.Owner, ptr)
+		}
+		if p.Parent != 0 {
+			pp, ok := pmgr.ProcPerms[p.Parent]
+			if !ok {
+				return fmt.Errorf("process %#x has dead parent %#x", ptr, p.Parent)
+			}
+			if pp.Owner != p.Owner {
+				return fmt.Errorf("process %#x parent in different container", ptr)
+			}
+			found := 0
+			for _, ch := range pp.Children {
+				if ch == ptr {
+					found++
+				}
+			}
+			if found != 1 {
+				return fmt.Errorf("process %#x appears %d times in parent children", ptr, found)
+			}
+		}
+		for _, ch := range p.Children {
+			cp, ok := pmgr.ProcPerms[ch]
+			if !ok || cp.Parent != ptr {
+				return fmt.Errorf("process %#x child link to %#x broken", ptr, ch)
+			}
+		}
+		for _, th := range p.Threads {
+			t, ok := pmgr.ThrdPerms[th]
+			if !ok || t.OwningProc != ptr {
+				return fmt.Errorf("process %#x thread link to %#x broken", ptr, th)
+			}
+		}
+	}
+	// Container.Procs lists only live processes owned by it.
+	for cptr, c := range pmgr.CntrPerms {
+		for pp := range c.Procs {
+			proc, ok := pmgr.ProcPerms[pp]
+			if !ok || proc.Owner != cptr {
+				return fmt.Errorf("container %#x lists foreign/dead process %#x", cptr, pp)
+			}
+		}
+		// owned_thrds ghost == union of the threads of its processes.
+		want := make(map[pm.Ptr]struct{})
+		for pp := range c.Procs {
+			for _, th := range pmgr.ProcPerms[pp].Threads {
+				want[th] = struct{}{}
+			}
+		}
+		if len(want) != len(c.OwnedThreads) {
+			return fmt.Errorf("container %#x owned_thrds has %d, want %d",
+				cptr, len(c.OwnedThreads), len(want))
+		}
+		for th := range want {
+			if _, ok := c.OwnedThreads[th]; !ok {
+				return fmt.Errorf("container %#x owned_thrds missing %#x", cptr, th)
+			}
+		}
+	}
+	return nil
+}
+
+// ThreadsWF is the paper's threads_wf: every thread is well-formed —
+// live ownership links, a core within the container's reservation, and
+// blocking state consistent with exactly one endpoint queue.
+func ThreadsWF(k *kernel.Kernel) error {
+	pmgr := k.PM
+	queued := make(map[pm.Ptr]pm.Ptr) // thread -> endpoint that queues it
+	for eptr, e := range pmgr.EdptPerms {
+		for _, th := range e.Queue {
+			if prev, dup := queued[th]; dup {
+				return fmt.Errorf("thread %#x queued on both %#x and %#x", th, prev, eptr)
+			}
+			queued[th] = eptr
+		}
+	}
+	for ptr, t := range pmgr.ThrdPerms {
+		p, ok := pmgr.ProcPerms[t.OwningProc]
+		if !ok {
+			return fmt.Errorf("thread %#x has dead process %#x", ptr, t.OwningProc)
+		}
+		if t.OwningCntr != p.Owner {
+			return fmt.Errorf("thread %#x owning_cntr ghost stale", ptr)
+		}
+		c := pmgr.CntrPerms[p.Owner]
+		coreOK := false
+		for _, cpu := range c.CPUs {
+			if cpu == t.Core {
+				coreOK = true
+			}
+		}
+		if !coreOK {
+			return fmt.Errorf("thread %#x on unreserved core %d", ptr, t.Core)
+		}
+		for i, e := range t.Endpoints {
+			if e == pm.NoEndpoint {
+				continue
+			}
+			if _, ok := pmgr.EdptPerms[e]; !ok {
+				return fmt.Errorf("thread %#x slot %d references dead endpoint %#x", ptr, i, e)
+			}
+		}
+		switch t.State {
+		case pm.ThreadBlockedSend, pm.ThreadBlockedRecv:
+			ep, ok := pmgr.EdptPerms[t.IPC.WaitingOn]
+			if !ok {
+				return fmt.Errorf("blocked thread %#x waits on dead endpoint", ptr)
+			}
+			if q, isQ := queued[ptr]; !isQ || q != t.IPC.WaitingOn {
+				return fmt.Errorf("blocked thread %#x not queued on its endpoint", ptr)
+			}
+			wantRecv := t.State == pm.ThreadBlockedRecv
+			if ep.QueuedRecv != wantRecv {
+				return fmt.Errorf("thread %#x direction disagrees with endpoint queue", ptr)
+			}
+		case pm.ThreadExited:
+			return fmt.Errorf("exited thread %#x still has a permission entry", ptr)
+		default:
+			if _, isQ := queued[ptr]; isQ {
+				return fmt.Errorf("non-blocked thread %#x sits in an endpoint queue", ptr)
+			}
+			if t.IPC.WaitingOn != 0 {
+				return fmt.Errorf("non-blocked thread %#x has WaitingOn set", ptr)
+			}
+		}
+	}
+	return nil
+}
+
+// EndpointsWF: refcounts equal the number of descriptor slots referencing
+// the endpoint, owners are live, queues are homogeneous and reference
+// blocked threads.
+func EndpointsWF(k *kernel.Kernel) error {
+	pmgr := k.PM
+	refs := make(map[pm.Ptr]int, len(pmgr.EdptPerms))
+	for _, t := range pmgr.ThrdPerms {
+		for _, e := range t.Endpoints {
+			if e != pm.NoEndpoint {
+				refs[e]++
+			}
+		}
+	}
+	// IRQ bindings hold endpoint references too (§3: interrupt
+	// dispatch delivers to user-level drivers through endpoints).
+	for irq, e := range k.IRQBindings() {
+		if _, ok := pmgr.EdptPerms[e]; !ok {
+			return fmt.Errorf("irq %d bound to dead endpoint %#x", irq, e)
+		}
+		refs[e]++
+	}
+	for eptr, e := range pmgr.EdptPerms {
+		if _, ok := pmgr.CntrPerms[e.OwnerCntr]; !ok {
+			return fmt.Errorf("endpoint %#x owned by dead container", eptr)
+		}
+		if refs[eptr] != e.RefCount {
+			return fmt.Errorf("endpoint %#x refcount %d, descriptors %d",
+				eptr, e.RefCount, refs[eptr])
+		}
+		if e.RefCount <= 0 {
+			return fmt.Errorf("endpoint %#x alive with refcount %d", eptr, e.RefCount)
+		}
+		seen := make(map[pm.Ptr]bool, len(e.Queue))
+		for _, th := range e.Queue {
+			if seen[th] {
+				return fmt.Errorf("endpoint %#x queues thread %#x twice", eptr, th)
+			}
+			seen[th] = true
+			t, ok := pmgr.ThrdPerms[th]
+			if !ok {
+				return fmt.Errorf("endpoint %#x queues dead thread %#x", eptr, th)
+			}
+			want := pm.ThreadBlockedSend
+			if e.QueuedRecv {
+				want = pm.ThreadBlockedRecv
+			}
+			if t.State != want {
+				return fmt.Errorf("endpoint %#x queues %v thread %#x", eptr, t.State, th)
+			}
+		}
+	}
+	return nil
+}
+
+// SchedulerWF: run queues hold exactly the runnable threads of their
+// core, currents are running, and no thread appears twice.
+func SchedulerWF(k *kernel.Kernel) error {
+	s := k.PM.Sched()
+	placed := make(map[pm.Ptr]string)
+	for core := 0; core < s.Cores(); core++ {
+		for _, th := range s.Queue(core) {
+			t, ok := k.PM.TryThrd(th)
+			if !ok {
+				return fmt.Errorf("core %d queues dead thread %#x", core, th)
+			}
+			if t.State != pm.ThreadRunnable {
+				return fmt.Errorf("core %d queues %v thread %#x", core, t.State, th)
+			}
+			if t.Core != core {
+				return fmt.Errorf("thread %#x on core %d queue but affine to %d", th, core, t.Core)
+			}
+			if where, dup := placed[th]; dup {
+				return fmt.Errorf("thread %#x placed twice (%s)", th, where)
+			}
+			placed[th] = fmt.Sprintf("queue %d", core)
+		}
+		if cur := s.Current(core); cur != 0 {
+			t, ok := k.PM.TryThrd(cur)
+			if !ok {
+				return fmt.Errorf("core %d runs dead thread %#x", core, cur)
+			}
+			if t.State != pm.ThreadRunning || t.Core != core {
+				return fmt.Errorf("core %d current %#x is %v/core %d", core, cur, t.State, t.Core)
+			}
+			if where, dup := placed[cur]; dup {
+				return fmt.Errorf("thread %#x placed twice (%s)", cur, where)
+			}
+			placed[cur] = fmt.Sprintf("current %d", core)
+		}
+	}
+	// Every runnable/running thread is placed exactly once.
+	for ptr, t := range k.PM.ThrdPerms {
+		switch t.State {
+		case pm.ThreadRunnable, pm.ThreadRunning:
+			if _, ok := placed[ptr]; !ok {
+				return fmt.Errorf("%v thread %#x lost by the scheduler", t.State, ptr)
+			}
+		}
+	}
+	return nil
+}
+
+// MemoryWF is the §4.2 safety and leak-freedom theorem, executably:
+// the page-state partition, per-subsystem closure exactness and pairwise
+// disjointness, mapping reference-count exactness, and per-table radix
+// structure and refinement.
+func MemoryWF(k *kernel.Kernel) error {
+	snap := k.Alloc.Snapshot()
+	total := snap.Free4K.Len() + snap.Free2M.Len() + snap.Free1G.Len() +
+		snap.Allocated.Len() + snap.Mapped.Len() + snap.Merged.Len() + snap.Boot.Len()
+	if total != k.Alloc.Frames() {
+		return fmt.Errorf("page states cover %d of %d frames", total, k.Alloc.Frames())
+	}
+	// Free lists agree with the metadata.
+	if !mem.NewPageSet(k.Alloc.WalkFreeList(mem.Size4K)...).Equal(snap.Free4K) {
+		return fmt.Errorf("4K free list disagrees with page states")
+	}
+	if !mem.NewPageSet(k.Alloc.WalkFreeList(mem.Size2M)...).Equal(snap.Free2M) {
+		return fmt.Errorf("2M free list disagrees with page states")
+	}
+	// Process-manager closure: exactly the object pages.
+	objPages := mem.NewPageSet()
+	for p := range k.PM.CntrPerms {
+		objPages.Insert(p)
+	}
+	for p := range k.PM.ProcPerms {
+		objPages.Insert(p)
+	}
+	for p := range k.PM.ThrdPerms {
+		objPages.Insert(p)
+	}
+	for p := range k.PM.EdptPerms {
+		objPages.Insert(p)
+	}
+	pmOwned := k.Alloc.AllocatedTo(mem.OwnerProcessMgr)
+	if !objPages.Equal(pmOwned) {
+		return fmt.Errorf("process-manager closure %d pages, allocator says %d",
+			objPages.Len(), pmOwned.Len())
+	}
+	// Virtual-memory closure: union of per-process table closures,
+	// pairwise disjoint.
+	ptPages := mem.NewPageSet()
+	for ptr, proc := range k.PM.ProcPerms {
+		cl := proc.PageTable.PageClosure()
+		if !cl.Disjoint(ptPages) {
+			return fmt.Errorf("page-table closure of %#x overlaps another", ptr)
+		}
+		ptPages.Union(cl)
+	}
+	ptOwned := k.Alloc.AllocatedTo(mem.OwnerPageTable)
+	if !ptPages.Equal(ptOwned) {
+		return fmt.Errorf("page-table closure %d pages, allocator says %d",
+			ptPages.Len(), ptOwned.Len())
+	}
+	// IOMMU closure.
+	iommuOwned := k.Alloc.AllocatedTo(mem.OwnerIOMMU)
+	if !k.IOMMU.PageClosure().Equal(iommuOwned) {
+		return fmt.Errorf("iommu closure disagrees with allocator")
+	}
+	// Closures are pairwise disjoint (owners distinct by construction;
+	// verify anyway) and cover the allocated set.
+	if !objPages.Disjoint(ptPages) || !objPages.Disjoint(iommuOwned) || !ptPages.Disjoint(iommuOwned) {
+		return fmt.Errorf("subsystem closures overlap")
+	}
+	union := objPages.Clone().Union(ptPages).Union(iommuOwned)
+	if !union.Equal(snap.Allocated) {
+		return fmt.Errorf("closures cover %d pages, allocated set has %d",
+			union.Len(), snap.Allocated.Len())
+	}
+	// Mapping reference counts: every mapped page's refcount equals the
+	// number of address-space mappings + DMA mappings + in-flight IPC
+	// messages holding it.
+	refs := make(map[hw.PhysAddr]uint32)
+	for _, proc := range k.PM.ProcPerms {
+		for _, e := range proc.PageTable.AddressSpace() {
+			refs[e.Phys]++
+		}
+	}
+	for _, d := range k.IOMMU.Domains() {
+		for _, e := range d.Table.AddressSpace() {
+			refs[e.Phys]++
+		}
+	}
+	for _, t := range k.PM.ThrdPerms {
+		if t.State == pm.ThreadBlockedSend && t.IPC.Msg.HasPage {
+			refs[t.IPC.Msg.Page]++
+		}
+	}
+	for p := range snap.Mapped {
+		rc, err := k.Alloc.RefCount(p)
+		if err != nil {
+			return err
+		}
+		if rc != refs[p] {
+			return fmt.Errorf("mapped page %#x refcount %d, references %d", p, rc, refs[p])
+		}
+		delete(refs, p)
+	}
+	if len(refs) != 0 {
+		return fmt.Errorf("%d referenced pages not in mapped state", len(refs))
+	}
+	// Per-table structure and refinement against the hardware MMU.
+	for ptr, proc := range k.PM.ProcPerms {
+		if err := proc.PageTable.CheckStructure(); err != nil {
+			return fmt.Errorf("process %#x: %w", ptr, err)
+		}
+		if err := proc.PageTable.CheckRefinement(k.Machine.MMU); err != nil {
+			return fmt.Errorf("process %#x: %w", ptr, err)
+		}
+	}
+	return k.IOMMU.CheckWF()
+}
+
+// QuotaWF: every container's UsedPages is at most its quota and equals
+// the recomputed charge: its own page, its objects, its user mappings
+// (weighted by page size), its table nodes, and its children's quotas.
+func QuotaWF(k *kernel.Kernel) error {
+	pmgr := k.PM
+	for cptr, c := range pmgr.CntrPerms {
+		if c.UsedPages > c.QuotaPages {
+			return fmt.Errorf("container %#x used %d > quota %d", cptr, c.UsedPages, c.QuotaPages)
+		}
+		want := uint64(1) // its own object page
+		for pp := range c.Procs {
+			proc := pmgr.ProcPerms[pp]
+			want += 1 // process object
+			want += uint64(proc.PageTable.PageClosure().Len())
+			for _, e := range proc.PageTable.AddressSpace() {
+				want += e.Size.Bytes() / hw.PageSize4K
+			}
+			if proc.IOMMUDomain != 0 {
+				d, err := k.IOMMU.Domain(proc.IOMMUDomain)
+				if err != nil {
+					return err
+				}
+				want += uint64(d.Table.PageClosure().Len())
+			}
+		}
+		want += uint64(len(c.OwnedThreads))
+		for _, e := range pmgr.EdptPerms {
+			if e.OwnerCntr == cptr {
+				want++
+			}
+		}
+		for _, ch := range c.Children {
+			want += pmgr.CntrPerms[ch].QuotaPages
+		}
+		if c.UsedPages != want {
+			return fmt.Errorf("container %#x used %d, recomputed %d", cptr, c.UsedPages, want)
+		}
+	}
+	return nil
+}
+
+// CPUReservationWF: every container's CPU set is a subset of its
+// parent's, every thread runs on a core its container reserves, and no
+// container reserves a core outside the machine. (This repo models CPU
+// reservations as hierarchical capabilities — a child can use what its
+// parent can use — rather than exclusive partitions; mixed-criticality
+// configurations like A/B/V get exclusivity by construction, assigning
+// disjoint sets.)
+func CPUReservationWF(k *kernel.Kernel) error {
+	cores := k.Machine.NumCores()
+	for ptr, c := range k.PM.CntrPerms {
+		for _, cpu := range c.CPUs {
+			if cpu < 0 || cpu >= cores {
+				return fmt.Errorf("container %#x reserves nonexistent core %d", ptr, cpu)
+			}
+		}
+		if c.Parent == 0 {
+			continue
+		}
+		parent := k.PM.CntrPerms[c.Parent]
+		for _, cpu := range c.CPUs {
+			held := false
+			for _, pc := range parent.CPUs {
+				if pc == cpu {
+					held = true
+				}
+			}
+			if !held {
+				return fmt.Errorf("container %#x reserves core %d its parent does not hold", ptr, cpu)
+			}
+		}
+	}
+	return nil
+}
+
+// NamedCheck pairs an invariant with a stable name for the obligation
+// registry and failure reports.
+type NamedCheck struct {
+	Name  string
+	Check func(*kernel.Kernel) error
+}
+
+// WFChecks is the full well-formedness suite, the total_wf() of Listing 1.
+func WFChecks() []NamedCheck {
+	return []NamedCheck{
+		{"container_tree_wf", ContainerTreeWF},
+		{"processes_wf", ProcessesWF},
+		{"threads_wf", ThreadsWF},
+		{"endpoints_wf", EndpointsWF},
+		{"scheduler_wf", SchedulerWF},
+		{"cpu_reservation_wf", CPUReservationWF},
+		{"memory_wf", MemoryWF},
+		{"quota_wf", QuotaWF},
+	}
+}
+
+// TotalWF runs the full suite and returns the first violation.
+func TotalWF(k *kernel.Kernel) error {
+	for _, c := range WFChecks() {
+		if err := c.Check(k); err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+package verify
+
+import (
+	"os"
+	"testing"
+)
+
+func TestObligationsAllDischarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obligation suite in -short mode")
+	}
+	obls := Obligations()
+	if len(obls) < 20 {
+		t.Fatalf("only %d obligations registered", len(obls))
+	}
+	timings, total, err := RunObligations(obls, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(timings) != len(obls) {
+		t.Fatalf("%d timings for %d obligations", len(timings), len(obls))
+	}
+	if total <= 0 {
+		t.Fatal("zero total time")
+	}
+	// Timings are sorted descending.
+	for i := 1; i < len(timings); i++ {
+		if timings[i].Elapsed > timings[i-1].Elapsed {
+			t.Fatal("timings not sorted descending")
+		}
+	}
+}
+
+func TestObligationsParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("obligation suite in -short mode")
+	}
+	obls := Obligations()
+	_, seq, err := RunObligations(obls, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, par, err := RunObligations(obls, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On a multi-core host the 8-worker run is much faster; on a
+	// single-core host it only pays goroutine overhead. Assert it
+	// completes within a generous factor either way.
+	if par > seq*5 {
+		t.Fatalf("8-worker run (%v) pathologically slower than sequential (%v)", par, seq)
+	}
+}
+
+func TestAblationObligationsDischarge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation suite in -short mode")
+	}
+	flat, rec := AblationObligations()
+	if _, _, err := RunObligations(flat, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunObligations(rec, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCountLoC(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root, ok := FindModuleRoot(wd)
+	if !ok {
+		t.Fatal("module root not found")
+	}
+	stats, err := CountLoC(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Proof == 0 || stats.Exec == 0 {
+		t.Fatalf("degenerate counts: %+v", stats)
+	}
+	if stats.Ratio() <= 0 {
+		t.Fatal("ratio not positive")
+	}
+}
