@@ -1,0 +1,17 @@
+#!/bin/sh
+# Repository gate: vet, build, and the full test suite under the race
+# detector. Run from the repo root; any failure fails the script.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ci: all checks passed"

@@ -10,6 +10,14 @@
 //	atmo-fuzz                      # 2000 steps, seed 1
 //	atmo-fuzz -steps 10000 -seed 9
 //	atmo-fuzz -seeds 8             # 8 independent seeds
+//	atmo-fuzz -chaos -seeds 4      # randomized traces under a fault plan
+//
+// With -chaos each trace runs on a raw kernel with a seeded fault
+// injector armed — allocator exhaustion on every allocation site,
+// dropped interrupt edges, spurious interrupts — and the full invariant
+// suite (verify.TotalWF) is checked after every transition. The report
+// is the invariant pass rate plus the injector's deterministic trace
+// hash, so a failing seed reproduces bit-for-bit.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 	"sort"
 
+	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/pm"
@@ -34,7 +43,13 @@ func main() {
 	steps := flag.Int("steps", 2000, "transitions per seed")
 	seed := flag.Uint64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 1, "number of independent seeds")
+	chaos := flag.Bool("chaos", false, "inject faults and report the invariant pass rate")
 	flag.Parse()
+
+	if *chaos {
+		runChaos(*seed, *seeds, *steps)
+		return
+	}
 
 	total := stats{ops: map[string]int{}, errnos: map[string]int{}}
 	transitions := 0
@@ -267,4 +282,125 @@ func freeSlot(t *pm.Thread) int {
 		}
 	}
 	return -1
+}
+
+// chaosPlan is the fuzzer's fault mix: allocator exhaustion hits every
+// allocation site a syscall touches, dropped and spurious interrupt
+// edges stress the dispatch path.
+func chaosPlan() faults.Plan {
+	return faults.Plan{Rules: []faults.Rule{
+		{Kind: faults.AllocExhaust, Rate: 0.10},
+		{Kind: faults.IRQDrop, Rate: 0.30},
+		{Kind: faults.IRQSpurious, Rate: 0.05},
+	}}
+}
+
+// runChaos drives the -chaos mode: per seed, a randomized trace on a
+// raw kernel with the injector armed, TotalWF checked after every
+// transition, and a pass-rate summary at the end.
+func runChaos(first uint64, seeds, steps int) {
+	checked, violations := 0, 0
+	for s := 0; s < seeds; s++ {
+		seed := first + uint64(s)
+		c, v, inj, err := chaosOne(seed, steps)
+		checked += c
+		violations += v
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d FAILED after %d transitions: %v\n", seed, c, err)
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d: %d transitions, %d invariant violations; injected %d faults (%s), trace hash %#x\n",
+			seed, c, v, inj.InjectedTotal(), inj.Counts(), inj.TraceHash())
+	}
+	rate := 100.0
+	if checked > 0 {
+		rate = 100 * float64(checked-violations) / float64(checked)
+	}
+	fmt.Printf("\nchaos: %d transitions checked under faults, %d violations, invariant pass rate %.2f%%\n",
+		checked, violations, rate)
+	if violations > 0 {
+		os.Exit(1)
+	}
+}
+
+// chaosOne runs one seed's randomized trace with faults armed. Unlike
+// fuzzOne it drives the raw kernel — injected allocator failures make
+// syscalls return ENOMEM mid-operation, which the per-step spec checker
+// would (correctly) flag as off-spec, while the invariant suite must
+// hold regardless: errored syscalls may abort, never corrupt.
+func chaosOne(seed uint64, steps int) (checked, violations int, inj *faults.Injector, err error) {
+	k, init, err := kernel.Boot(hw.Config{Frames: 4096, Cores: 4, TLBSlots: 256})
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	inj, err = faults.NewInjector(seed, chaosPlan(), k.Machine.TotalCycles)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	k.Alloc.SetFaultHook(func() bool { return inj.Hit(faults.AllocExhaust) })
+	k.IRQFilter = func(core, irq int) bool { return !inj.Hit(faults.IRQDrop) }
+
+	r := hw.NewRand(seed ^ 0x9e3779b97f4a7c15)
+	var containers []pm.Ptr
+	nextVA := uint64(0x20000000)
+	var firstViolation error
+	step := func() {
+		checked++
+		if e := verify.TotalWF(k); e != nil {
+			violations++
+			if firstViolation == nil {
+				firstViolation = e
+			}
+		}
+	}
+	for i := 0; i < steps; i++ {
+		switch r.Intn(9) {
+		case 0, 1:
+			count := 1 + r.Intn(4)
+			va := hw.VirtAddr(nextVA)
+			nextVA += uint64(count+1) * hw.PageSize4K
+			k.SysMmap(0, init, va, count, hw.Size4K, pt.RW)
+		case 2:
+			k.SysMunmap(0, init,
+				hw.VirtAddr(0x20000000+uint64(r.Intn(512))*hw.PageSize4K), 1, hw.Size4K)
+		case 3:
+			if ret := k.SysNewContainer(0, init, uint64(5+r.Intn(40)), []int{0}); ret.Errno == kernel.OK {
+				containers = append(containers, pm.Ptr(ret.Vals[0]))
+			}
+		case 4:
+			if len(containers) > 0 {
+				if ret := k.SysNewProcessIn(0, init, containers[r.Intn(len(containers))]); ret.Errno == kernel.OK {
+					k.SysNewThreadIn(0, init, pm.Ptr(ret.Vals[0]), 1+r.Intn(3))
+				}
+			}
+		case 5:
+			slot := 1 + r.Intn(pm.MaxEndpoints-1)
+			if r.Intn(2) == 0 {
+				k.SysNewEndpoint(0, init, slot)
+			} else {
+				k.SysCloseEndpoint(0, init, slot)
+			}
+		case 6:
+			if len(containers) > 0 {
+				j := r.Intn(len(containers))
+				ret := kernel.Ret{Errno: kernel.EAGAIN}
+				for rounds := 0; ret.Errno == kernel.EAGAIN && rounds < 64; rounds++ {
+					ret = k.SysKillContainerBounded(0, init, containers[j], 1+r.Intn(4))
+					step() // every intermediate kill state must be well-formed
+				}
+				if ret.Errno == kernel.OK {
+					containers = append(containers[:j], containers[j+1:]...)
+				}
+				continue
+			}
+		case 7:
+			k.SysYield(0, init)
+		default:
+			if inj.Hit(faults.IRQSpurious) {
+				k.RaiseIRQ(r.Intn(4), 32+r.Intn(16)) // unbound line: must be inert
+			}
+		}
+		step()
+	}
+	return checked, violations, inj, firstViolation
 }

@@ -85,6 +85,7 @@ func All() []Experiment {
 		{"fig6", Fig6MaglevHttpd},
 		{"fig7", Fig7KVStore},
 		{"ablation", AblationFlatVsRecursive},
+		{"degraded", DegradedNvmeThroughput},
 	}
 }
 

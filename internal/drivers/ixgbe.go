@@ -50,6 +50,16 @@ type IxgbeDriver struct {
 	Frames [][]byte
 
 	RxCount, TxCount uint64
+
+	stats DriverStats
+}
+
+// Stats returns the driver's fault/drop counter block.
+func (d *IxgbeDriver) Stats() DriverStats {
+	s := d.stats
+	s.Submitted = d.TxCount
+	s.Completed = d.RxCount
+	return s
 }
 
 // ringBytes returns pages needed for n descriptors.
@@ -80,12 +90,12 @@ func SetupIxgbe(k *kernel.Kernel, tid pm.Ptr, core int, dev *nic.Device, ringSiz
 		}
 		return va, nil
 	}
-	physOf := func(va hw.VirtAddr) hw.PhysAddr {
+	physOf := func(va hw.VirtAddr) (hw.PhysAddr, error) {
 		e, ok := proc.PageTable.Lookup(va)
 		if !ok {
-			panic("drivers: unmapped driver buffer")
+			return 0, fmt.Errorf("%w: ixgbe va %#x", ErrUnmapped, va)
 		}
-		return e.Phys + hw.PhysAddr(uint64(va)&(hw.PageSize4K-1))
+		return e.Phys + hw.PhysAddr(uint64(va)&(hw.PageSize4K-1)), nil
 	}
 
 	if useIOMMU {
@@ -96,39 +106,61 @@ func SetupIxgbe(k *kernel.Kernel, tid pm.Ptr, core int, dev *nic.Device, ringSiz
 			return nil, fmt.Errorf("drivers: iommu attach: %v", r.Errno)
 		}
 	}
-	dmaOf := func(va hw.VirtAddr) hw.PhysAddr {
+	dmaOf := func(va hw.VirtAddr) (hw.PhysAddr, error) {
 		if useIOMMU {
-			return hw.PhysAddr(va) // iova = driver virtual address
+			return hw.PhysAddr(va), nil // iova = driver virtual address
 		}
 		return physOf(va)
+	}
+	// mapBuf maps one buffer page and records its phys/DMA addresses.
+	mapBuf := func(phys, dma *[]hw.PhysAddr) error {
+		bva, err := mapRange(1)
+		if err != nil {
+			return err
+		}
+		bp, err := physOf(bva)
+		if err != nil {
+			return err
+		}
+		bd, err := dmaOf(bva)
+		if err != nil {
+			return err
+		}
+		*phys = append(*phys, bp)
+		*dma = append(*dma, bd)
+		return nil
 	}
 	// RX ring + buffers.
 	rxVA, err := mapRange(ringPages(ringSize))
 	if err != nil {
 		return nil, err
 	}
-	d.ringPhys, d.ringDMA = physOf(rxVA), dmaOf(rxVA)
+	if d.ringPhys, err = physOf(rxVA); err != nil {
+		return nil, err
+	}
+	if d.ringDMA, err = dmaOf(rxVA); err != nil {
+		return nil, err
+	}
 	for i := 0; i < ringSize; i++ {
-		bva, err := mapRange(1)
-		if err != nil {
+		if err := mapBuf(&d.bufPhys, &d.bufDMA); err != nil {
 			return nil, err
 		}
-		d.bufPhys = append(d.bufPhys, physOf(bva))
-		d.bufDMA = append(d.bufDMA, dmaOf(bva))
 	}
 	// TX ring + buffers.
 	txVA, err := mapRange(ringPages(ringSize))
 	if err != nil {
 		return nil, err
 	}
-	d.txRingPhys, d.txRingDMA = physOf(txVA), dmaOf(txVA)
+	if d.txRingPhys, err = physOf(txVA); err != nil {
+		return nil, err
+	}
+	if d.txRingDMA, err = dmaOf(txVA); err != nil {
+		return nil, err
+	}
 	for i := 0; i < ringSize; i++ {
-		bva, err := mapRange(1)
-		if err != nil {
+		if err := mapBuf(&d.txBufPhys, &d.txBufDMA); err != nil {
 			return nil, err
 		}
-		d.txBufPhys = append(d.txBufPhys, physOf(bva))
-		d.txBufDMA = append(d.txBufDMA, dmaOf(bva))
 	}
 
 	mem := k.Machine.Mem
@@ -153,7 +185,7 @@ func (d *IxgbeDriver) clock() *hw.Clock { return &d.K.Machine.Core(d.Core).Clock
 func (d *IxgbeDriver) RxBurst(max int) int {
 	clk := d.clock()
 	mem := d.K.Machine.Mem
-	n := 0
+	n, scanned := 0, 0
 	for n < max {
 		i := d.rxNext
 		da := d.ringPhys + hw.PhysAddr(i*nic.DescSize)
@@ -162,6 +194,18 @@ func (d *IxgbeDriver) RxBurst(max int) int {
 			break
 		}
 		length := binary.LittleEndian.Uint16(mem.Read(da+8, 2))
+		if length == 0 || int(length) > hw.PageSize4K {
+			// Corrupted descriptor (injected or device fault): drop it,
+			// recycle the slot, and keep going — a bad length must never
+			// become a bad frame view.
+			d.stats.BadDesc++
+			mem.Write(da+8, []byte{0, 0})
+			mem.Write(da+10, []byte{0})
+			clk.Charge(hw.CostCacheTouch * 2)
+			d.rxNext = (d.rxNext + 1) % d.ringSize
+			scanned++
+			continue
+		}
 		if n >= len(d.Frames) {
 			d.Frames = append(d.Frames, nil)
 		}
@@ -173,9 +217,12 @@ func (d *IxgbeDriver) RxBurst(max int) int {
 		mem.Write(da+10, []byte{0})
 		clk.Charge(hw.CostCacheTouch * 2)
 		d.rxNext = (d.rxNext + 1) % d.ringSize
+		scanned++
 		n++
 	}
-	if n > 0 {
+	if scanned > 0 {
+		// Republish every recycled slot (dropped descriptors included —
+		// the device must get those buffers back).
 		d.Dev.WriteRDT((d.rxNext + d.ringSize - 1) % d.ringSize)
 		clk.Charge(hw.CostMMIOWrite)
 		d.RxCount += uint64(n)
@@ -207,6 +254,7 @@ func (d *IxgbeDriver) TxBurst(frames [][]byte) error {
 	}
 	clk.Charge(hw.CostMMIOWrite)
 	if err := d.Dev.WriteTDT(d.txNext); err != nil {
+		d.stats.DMAFaults++
 		return err
 	}
 	d.TxCount += uint64(len(frames))

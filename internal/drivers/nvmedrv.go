@@ -14,6 +14,12 @@ import (
 // NvmeDriver is the poll-mode NVMe driver (§6.5.2): one I/O queue pair
 // plus data buffers mapped by the driver process, SQ doorbell per
 // batch, and completion polling — the SPDK-style submission model.
+//
+// The driver survives device faults instead of panicking: every command
+// is tracked in flight, error-status completions are resubmitted with
+// exponential backoff up to MaxRetries, missing completions time out
+// against a cycle budget, and every fault increments a DriverStats
+// counter the supervisor and harnesses read.
 type NvmeDriver struct {
 	K    *kernel.Kernel
 	Tid  pm.Ptr
@@ -31,13 +37,36 @@ type NvmeDriver struct {
 	nextCID        uint16
 	inflight       int
 
+	// inflightCmds tracks every submitted command by CID so an
+	// error-status completion can be retried with the original opcode,
+	// LBA, and data buffer.
+	inflightCmds map[uint16]*nvmeCmd
+
+	// PollBudget is the cycle budget of one PollCompletions call
+	// (DefaultPollBudget when zero).
+	PollBudget uint64
+
+	stats DriverStats
+
+	// Submitted and Completed remain exported for the benchmarks.
 	Submitted, Completed uint64
+}
+
+// nvmeCmd is one in-flight command's retry state.
+type nvmeCmd struct {
+	op       byte
+	lba      uint64
+	prp      hw.PhysAddr
+	attempts int
 }
 
 // SetupNvme initializes the driver: queue pages, data buffers, IOMMU
 // exposure, and device queue programming.
 func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize int, useIOMMU bool) (*NvmeDriver, error) {
-	d := &NvmeDriver{K: k, Tid: tid, Core: core, Dev: dev, qSize: qSize, phase: 1}
+	d := &NvmeDriver{
+		K: k, Tid: tid, Core: core, Dev: dev, qSize: qSize, phase: 1,
+		inflightCmds: make(map[uint16]*nvmeCmd),
+	}
 	proc := k.PM.Proc(k.PM.Thrd(tid).OwningProc)
 	vaBase := hw.VirtAddr(0x300000000)
 	mapRange := func(pages int) (hw.VirtAddr, error) {
@@ -55,16 +84,16 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 		}
 		return va, nil
 	}
-	physOf := func(va hw.VirtAddr) hw.PhysAddr {
+	physOf := func(va hw.VirtAddr) (hw.PhysAddr, error) {
 		e, ok := proc.PageTable.Lookup(va)
 		if !ok {
-			panic("drivers: unmapped nvme buffer")
+			return 0, fmt.Errorf("%w: nvme va %#x", ErrUnmapped, va)
 		}
-		return e.Phys + hw.PhysAddr(uint64(va)&(hw.PageSize4K-1))
+		return e.Phys + hw.PhysAddr(uint64(va)&(hw.PageSize4K-1)), nil
 	}
-	dmaOf := func(va hw.VirtAddr) hw.PhysAddr {
+	dmaOf := func(va hw.VirtAddr) (hw.PhysAddr, error) {
 		if useIOMMU {
-			return hw.PhysAddr(va)
+			return hw.PhysAddr(va), nil
 		}
 		return physOf(va)
 	}
@@ -86,15 +115,33 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 	if err != nil {
 		return nil, err
 	}
-	d.sqPhys, d.sqDMA = physOf(sqVA), dmaOf(sqVA)
-	d.cqPhys, d.cqDMA = physOf(cqVA), dmaOf(cqVA)
+	if d.sqPhys, err = physOf(sqVA); err != nil {
+		return nil, err
+	}
+	if d.sqDMA, err = dmaOf(sqVA); err != nil {
+		return nil, err
+	}
+	if d.cqPhys, err = physOf(cqVA); err != nil {
+		return nil, err
+	}
+	if d.cqDMA, err = dmaOf(cqVA); err != nil {
+		return nil, err
+	}
 	for i := 0; i < qSize; i++ {
 		bva, err := mapRange(1)
 		if err != nil {
 			return nil, err
 		}
-		d.bufPhys = append(d.bufPhys, physOf(bva))
-		d.bufDMA = append(d.bufDMA, dmaOf(bva))
+		bp, err := physOf(bva)
+		if err != nil {
+			return nil, err
+		}
+		bd, err := dmaOf(bva)
+		if err != nil {
+			return nil, err
+		}
+		d.bufPhys = append(d.bufPhys, bp)
+		d.bufDMA = append(d.bufDMA, bd)
 	}
 	dev.CreateQueues(d.sqDMA, d.cqDMA, qSize)
 	d.clock().Charge(4 * hw.CostMMIOWrite) // admin: queue registers
@@ -103,9 +150,70 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 
 func (d *NvmeDriver) clock() *hw.Clock { return &d.K.Machine.Core(d.Core).Clock }
 
+// Stats returns the driver's fault/retry counter block.
+func (d *NvmeDriver) Stats() DriverStats {
+	s := d.stats
+	s.Submitted = d.Submitted
+	s.Completed = d.Completed
+	return s
+}
+
+// Inflight returns the number of commands awaiting completion.
+func (d *NvmeDriver) Inflight() int { return d.inflight }
+
+// SQTail returns the next submission slot; the buffer for the j-th
+// command of the next batch is BufPhys(SQTail()+j).
+func (d *NvmeDriver) SQTail() int { return d.sqTail }
+
 // BufPhys returns the physical address of buffer slot i (for test
 // verification and app data access).
 func (d *NvmeDriver) BufPhys(i int) hw.PhysAddr { return d.bufPhys[i%d.qSize] }
+
+// backoff charges one exponential-backoff wait to the driver core.
+func (d *NvmeDriver) backoff(attempt int) {
+	wait := uint64(BackoffBaseCycles)
+	if attempt > 0 {
+		wait <<= uint(attempt)
+	}
+	d.clock().Charge(wait)
+	d.stats.Backoffs++
+}
+
+// pushSQE writes one submission queue entry at the current tail and
+// advances it. The caller rings the doorbell.
+func (d *NvmeDriver) pushSQE(op byte, lba uint64, cid uint16, prp hw.PhysAddr) {
+	mem := d.K.Machine.Mem
+	sqe := d.sqPhys + hw.PhysAddr(d.sqTail*nvme.SQESize)
+	var raw [nvme.SQESize]byte
+	raw[0] = op
+	binary.LittleEndian.PutUint16(raw[2:4], cid)
+	binary.LittleEndian.PutUint64(raw[24:32], uint64(prp))
+	binary.LittleEndian.PutUint64(raw[40:48], lba)
+	mem.Write(sqe, raw[:])
+	d.clock().Charge(hw.CostCacheTouch * 4) // build the 64-byte SQE
+	d.sqTail = (d.sqTail + 1) % d.qSize
+	d.inflight++
+}
+
+// ringDoorbell publishes the SQ tail, retrying with backoff when the
+// device faults mid-batch (a persistent fault — e.g. an unmapped queue
+// page — exhausts the retry budget and surfaces as an error).
+func (d *NvmeDriver) ringDoorbell() error {
+	var err error
+	for attempt := 0; attempt <= MaxRetries; attempt++ {
+		d.clock().Charge(hw.CostMMIOWrite)
+		if err = d.Dev.WriteSQDoorbell(d.sqTail); err == nil {
+			return nil
+		}
+		d.stats.DMAFaults++
+		if attempt < MaxRetries {
+			d.stats.Retries++
+			d.backoff(attempt)
+		}
+	}
+	d.stats.Failed++
+	return fmt.Errorf("drivers: doorbell: %w", err)
+}
 
 // SubmitBatch enqueues n commands (read or write) at sequential LBAs
 // starting at slba, one buffer slot per command, then rings the SQ
@@ -114,55 +222,94 @@ func (d *NvmeDriver) SubmitBatch(op byte, slba uint64, n int) error {
 	if n <= 0 || n >= d.qSize {
 		return fmt.Errorf("drivers: bad batch size %d", n)
 	}
-	clk := d.clock()
-	mem := d.K.Machine.Mem
 	for i := 0; i < n; i++ {
-		idx := d.sqTail
-		sqe := d.sqPhys + hw.PhysAddr(idx*nvme.SQESize)
-		var raw [nvme.SQESize]byte
-		raw[0] = op
-		binary.LittleEndian.PutUint16(raw[2:4], d.nextCID)
-		binary.LittleEndian.PutUint64(raw[24:32], uint64(d.bufDMA[idx]))
-		binary.LittleEndian.PutUint64(raw[40:48], slba+uint64(i))
-		mem.Write(sqe, raw[:])
-		clk.Charge(hw.CostCacheTouch * 4) // build the 64-byte SQE
+		cid := d.nextCID
+		prp := d.bufDMA[d.sqTail]
+		d.pushSQE(op, slba+uint64(i), cid, prp)
+		d.inflightCmds[cid] = &nvmeCmd{op: op, lba: slba + uint64(i), prp: prp}
 		d.nextCID++
-		d.sqTail = (d.sqTail + 1) % d.qSize
-		d.inflight++
 	}
-	clk.Charge(hw.CostMMIOWrite)
-	if err := d.Dev.WriteSQDoorbell(d.sqTail); err != nil {
+	if err := d.ringDoorbell(); err != nil {
 		return err
 	}
 	d.Submitted += uint64(n)
 	return nil
 }
 
-// PollCompletions reaps up to max completions from the CQ.
-func (d *NvmeDriver) PollCompletions(max int) int {
+// PollCompletions reaps up to max completions from the CQ, spinning
+// within the driver's cycle budget when completions are late. It
+// retries error-status completions (bounded, with backoff) and returns
+// the number of successful completions reaped. The error is
+// ErrCmdTimeout when the budget expires with commands still in flight,
+// or ErrCmdFailed when a command exhausts its retry budget.
+func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 	clk := d.clock()
 	mem := d.K.Machine.Mem
+	budget := d.PollBudget
+	if budget == 0 {
+		budget = DefaultPollBudget
+	}
+	start := clk.Cycles()
+	spin := uint64(pollSpinBase)
 	n := 0
 	for n < max && d.inflight > 0 {
+		// Release any stalled completions whose time has come.
+		if err := d.Dev.Poke(); err != nil {
+			d.stats.DMAFaults++
+			return n, fmt.Errorf("drivers: poke: %w", err)
+		}
 		cqe := d.cqPhys + hw.PhysAddr(d.cqHead*nvme.CQESize)
 		clk.Charge(hw.CostCacheTouch)
 		sp := binary.LittleEndian.Uint16(mem.Read(cqe+14, 2))
 		if byte(sp&1) != d.phase {
-			break
+			// Nothing ready: spin-wait with adaptive pacing, bounded by
+			// the cycle budget.
+			if clk.Cycles()-start > budget {
+				d.stats.Timeouts++
+				return n, fmt.Errorf("%w: %d in flight after %d cycles",
+					ErrCmdTimeout, d.inflight, budget)
+			}
+			clk.Charge(spin)
+			if spin < pollSpinMax {
+				spin *= 2
+			}
+			continue
 		}
-		if sp>>1 != 0 {
-			// Command error surfaced to the caller via status; the
-			// driver still consumes the entry.
-			_ = sp
-		}
+		spin = pollSpinBase
+		cid := binary.LittleEndian.Uint16(mem.Read(cqe+12, 2))
+		status := sp >> 1
 		d.cqHead++
 		if d.cqHead == d.qSize {
 			d.cqHead = 0
 			d.phase ^= 1
 		}
 		d.inflight--
+		if status != 0 {
+			d.stats.CmdErrors++
+			cmd := d.inflightCmds[cid]
+			if cmd == nil {
+				// Completion for a command we no longer track (dropped
+				// after its retry budget): consume and move on.
+				continue
+			}
+			if cmd.attempts >= MaxRetries {
+				delete(d.inflightCmds, cid)
+				d.stats.Failed++
+				return n, fmt.Errorf("%w: cid %d op %d lba %d status %#x",
+					ErrCmdFailed, cid, cmd.op, cmd.lba, status)
+			}
+			cmd.attempts++
+			d.stats.Retries++
+			d.backoff(cmd.attempts)
+			d.pushSQE(cmd.op, cmd.lba, cid, cmd.prp)
+			if err := d.ringDoorbell(); err != nil {
+				return n, err
+			}
+			continue
+		}
+		delete(d.inflightCmds, cid)
 		d.Completed++
 		n++
 	}
-	return n
+	return n, nil
 }

@@ -1,0 +1,98 @@
+package drivers
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Driver fault-handling errors. Every condition that used to panic a
+// driver process now surfaces as one of these, counted in DriverStats.
+var (
+	// ErrCmdTimeout: a command did not complete within the polling
+	// cycle budget (injected stall or wedged device).
+	ErrCmdTimeout = errors.New("drivers: command timed out")
+	// ErrCmdFailed: a command kept completing with an error status
+	// after exhausting its retry budget.
+	ErrCmdFailed = errors.New("drivers: command failed after retries")
+	// ErrUnmapped: a driver buffer had no page-table mapping (setup
+	// bug or revoked mapping); formerly a panic.
+	ErrUnmapped = errors.New("drivers: unmapped driver buffer")
+)
+
+// Retry/backoff policy shared by both drivers. Backoff is charged to
+// the driver core's clock (the driver really waits), growing
+// exponentially per attempt.
+const (
+	// MaxRetries bounds resubmissions of one command and doorbell
+	// retries of one batch.
+	MaxRetries = 5
+	// BackoffBaseCycles is the first retry's wait; attempt i waits
+	// BackoffBaseCycles << i.
+	BackoffBaseCycles = 2_000
+	// DefaultPollBudget is the per-poll-call cycle budget after which a
+	// missing completion is declared timed out (≈90 µs at 2.2 GHz —
+	// comfortably above the device's 76 µs read latency).
+	DefaultPollBudget = 200_000
+	// pollSpinBase and pollSpinMax bound the adaptive spin-wait charge
+	// per empty completion poll.
+	pollSpinBase = 64
+	pollSpinMax  = 16_384
+)
+
+// DriverStats is the fault/retry/recovery counter block both drivers
+// expose; cmd/atmo-sim prints it and the chaos harness folds it into
+// its deterministic report.
+type DriverStats struct {
+	Submitted uint64 // commands / frames handed to the device
+	Completed uint64 // successful completions / received frames
+
+	CmdErrors uint64 // error-status completions observed
+	Retries   uint64 // bounded resubmissions and doorbell retries
+	Backoffs  uint64 // backoff waits charged
+	Timeouts  uint64 // poll-budget exhaustions
+	DMAFaults uint64 // DMA faults surfaced by the device
+	BadDesc   uint64 // corrupted descriptors dropped
+	Failed    uint64 // commands abandoned after the retry budget
+	Wedged    uint64 // times the driver declared itself wedged
+}
+
+// Add folds another counter block into this one (used when a restarted
+// driver's fresh counters continue a predecessor's totals).
+func (s *DriverStats) Add(o DriverStats) {
+	s.Submitted += o.Submitted
+	s.Completed += o.Completed
+	s.CmdErrors += o.CmdErrors
+	s.Retries += o.Retries
+	s.Backoffs += o.Backoffs
+	s.Timeouts += o.Timeouts
+	s.DMAFaults += o.DMAFaults
+	s.BadDesc += o.BadDesc
+	s.Failed += o.Failed
+	s.Wedged += o.Wedged
+}
+
+// String renders the nonzero counters in declaration order.
+func (s DriverStats) String() string {
+	var b strings.Builder
+	add := func(name string, v uint64) {
+		if v == 0 && name != "submitted" && name != "completed" {
+			return
+		}
+		if b.Len() > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	add("submitted", s.Submitted)
+	add("completed", s.Completed)
+	add("cmd-errors", s.CmdErrors)
+	add("retries", s.Retries)
+	add("backoffs", s.Backoffs)
+	add("timeouts", s.Timeouts)
+	add("dma-faults", s.DMAFaults)
+	add("bad-desc", s.BadDesc)
+	add("failed", s.Failed)
+	add("wedged", s.Wedged)
+	return b.String()
+}

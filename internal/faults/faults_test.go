@@ -1,0 +1,111 @@
+package faults
+
+import "testing"
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{Rules: []Rule{{Kind: KindCount, Rate: 0.5}}},
+		{Rules: []Rule{{Kind: NvmeCmdError, Rate: 1.5}}},
+		{Rules: []Rule{{Kind: NvmeCmdError, Rate: -0.1}}},
+		{Rules: []Rule{{Kind: NvmeCmdError, Rate: 0.5, From: 100, Until: 50}}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("plan %d validated but should not have", i)
+		}
+	}
+	good := Plan{Rules: []Rule{{Kind: NvmeStall, Rate: 0.01, From: 0, Until: 0, Param: 1000}}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good plan rejected: %v", err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	plan := Plan{Rules: []Rule{
+		{Kind: NvmeCmdError, Rate: 0.1},
+		{Kind: NicDMAFault, Rate: 0.05},
+	}}
+	run := func() ([2]uint64, uint64) {
+		in, err := NewInjector(42, plan, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10000; i++ {
+			in.Hit(NvmeCmdError)
+			in.Hit(NicDMAFault)
+		}
+		return [2]uint64{in.Injected[NvmeCmdError], in.Injected[NicDMAFault]}, in.TraceHash()
+	}
+	c1, h1 := run()
+	c2, h2 := run()
+	if c1 != c2 || h1 != h2 {
+		t.Fatalf("same seed diverged: %v/%#x vs %v/%#x", c1, h1, c2, h2)
+	}
+	if c1[0] == 0 || c1[1] == 0 {
+		t.Fatalf("rates 0.1/0.05 over 10000 draws injected nothing: %v", c1)
+	}
+	// A different seed must (overwhelmingly) produce a different trace.
+	in3, _ := NewInjector(43, plan, nil)
+	for i := 0; i < 10000; i++ {
+		in3.Hit(NvmeCmdError)
+		in3.Hit(NicDMAFault)
+	}
+	if in3.TraceHash() == h1 {
+		t.Fatal("different seeds produced identical trace hashes")
+	}
+}
+
+func TestCycleWindows(t *testing.T) {
+	var now uint64
+	plan := Plan{Rules: []Rule{{Kind: AllocExhaust, Rate: 1, From: 100, Until: 200}}}
+	in, err := NewInjector(7, plan, func() uint64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 50
+	if in.Hit(AllocExhaust) {
+		t.Fatal("fired before window")
+	}
+	now = 150
+	if !in.Hit(AllocExhaust) {
+		t.Fatal("did not fire inside window at rate 1")
+	}
+	now = 200
+	if in.Hit(AllocExhaust) {
+		t.Fatal("fired at window end (Until is exclusive)")
+	}
+}
+
+func TestInactiveKindConsumesNoRandomness(t *testing.T) {
+	plan := Plan{Rules: []Rule{{Kind: NvmeStall, Rate: 0.5, Param: 9}}}
+	a, _ := NewInjector(5, plan, nil)
+	b, _ := NewInjector(5, plan, nil)
+	// a interleaves opportunities for an unarmed kind; the armed kind's
+	// decisions must not shift.
+	var seqA, seqB []bool
+	for i := 0; i < 64; i++ {
+		a.Hit(IRQDrop) // unarmed: no draw
+		hit, param := a.Should(NvmeStall)
+		if hit && param != 9 {
+			t.Fatalf("param %d, want 9", param)
+		}
+		seqA = append(seqA, hit)
+		hitB, _ := b.Should(NvmeStall)
+		seqB = append(seqB, hitB)
+	}
+	for i := range seqA {
+		if seqA[i] != seqB[i] {
+			t.Fatalf("unarmed opportunities perturbed the armed stream at %d", i)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Hit(NvmeCmdError) {
+		t.Fatal("nil injector fired")
+	}
+	if in.TraceHash() != 0 || in.TraceLen() != 0 || in.InjectedTotal() != 0 {
+		t.Fatal("nil injector reported nonzero state")
+	}
+}

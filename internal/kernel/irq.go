@@ -126,6 +126,9 @@ func (k *Kernel) RaiseIRQ(core int, irq int) {
 		k.Machine.Core(core).Clock.Charge(k.kclock.Cycles() - start)
 		k.big.Unlock()
 	}()
+	if k.IRQFilter != nil && !k.IRQFilter(core, irq) {
+		return // injected lost edge: never reaches the IDT
+	}
 	k.kclock.Charge(hw.CostInterruptDispatch)
 	st, bound := k.irqs[irq]
 	if !bound {

@@ -107,6 +107,13 @@ type Kernel struct {
 	// Hooks let the verifier observe every transition (nil in
 	// benchmarks; charged nothing).
 	PostSyscall func(name string, caller pm.Ptr, ret Ret)
+
+	// IRQFilter, when set, is consulted on every raised interrupt; a
+	// false return drops the edge before dispatch (the fault layer's
+	// lost-interrupt injection). Dropping an edge is always safe for
+	// kernel invariants — hardware loses edges too — so the filter
+	// exercises the paths that must tolerate it.
+	IRQFilter func(core, irq int) bool
 }
 
 // Boot creates a machine, allocator, IOMMU, process manager with a root

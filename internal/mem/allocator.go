@@ -31,6 +31,16 @@ type Allocator struct {
 	// reserved counts frames permanently held by boot (frame 0 and the
 	// kernel image).
 	reserved int
+
+	// faultHook, when set, is consulted before every allocation; a true
+	// return fails the request with ErrOutOfMemory before any state is
+	// touched (transient exhaustion, injected by the fault layer). The
+	// failure is indistinguishable from a genuinely empty free list, so
+	// every caller's ENOMEM path is exercised without corrupting state.
+	faultHook func() bool
+
+	// InjectedFailures counts allocations the hook failed.
+	InjectedFailures uint64
 }
 
 // NewAllocator builds an allocator over all frames of mem, reserving the
@@ -66,6 +76,19 @@ func NewAllocator(mem *hw.PhysMem, clock *hw.Clock, reservedFrames int) *Allocat
 
 // Mem returns the physical memory the allocator manages.
 func (a *Allocator) Mem() *hw.PhysMem { return a.mem }
+
+// SetFaultHook installs (or, with nil, removes) the transient
+// exhaustion hook.
+func (a *Allocator) SetFaultHook(h func() bool) { a.faultHook = h }
+
+// injectFail reports whether this allocation should fail transiently.
+func (a *Allocator) injectFail() bool {
+	if a.faultHook != nil && a.faultHook() {
+		a.InjectedFailures++
+		return true
+	}
+	return false
+}
 
 // Frames returns the number of managed frames.
 func (a *Allocator) Frames() int { return len(a.pages) }
@@ -143,6 +166,9 @@ func (a *Allocator) popFree(sc SizeClass) (int32, bool) {
 // the returned page was free before, the free set shrinks by exactly it,
 // and the allocated set grows by exactly it (Listing 4).
 func (a *Allocator) AllocPage4K(owner Owner) (hw.PhysAddr, error) {
+	if a.injectFail() {
+		return 0, fmt.Errorf("%w: no 4KiB pages (injected)", ErrOutOfMemory)
+	}
 	i, ok := a.popFree(Size4K)
 	if !ok {
 		return 0, fmt.Errorf("%w: no 4KiB pages", ErrOutOfMemory)
@@ -159,6 +185,9 @@ func (a *Allocator) AllocPage4K(owner Owner) (hw.PhysAddr, error) {
 // AllocUserPage4K pops a free 4 KiB page for a user mapping: state
 // mapped, refcount 1.
 func (a *Allocator) AllocUserPage4K() (hw.PhysAddr, error) {
+	if a.injectFail() {
+		return 0, fmt.Errorf("%w: no 4KiB pages (injected)", ErrOutOfMemory)
+	}
 	i, ok := a.popFree(Size4K)
 	if !ok {
 		return 0, fmt.Errorf("%w: no 4KiB pages", ErrOutOfMemory)
@@ -177,6 +206,9 @@ func (a *Allocator) AllocUserPage4K() (hw.PhysAddr, error) {
 func (a *Allocator) AllocUserPage(sc SizeClass) (hw.PhysAddr, error) {
 	if sc == Size4K {
 		return a.AllocUserPage4K()
+	}
+	if a.injectFail() {
+		return 0, fmt.Errorf("%w: no %v pages (injected)", ErrOutOfMemory, sc)
 	}
 	i, ok := a.popFree(sc)
 	if !ok {

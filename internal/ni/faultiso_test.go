@@ -1,0 +1,87 @@
+package ni
+
+import (
+	"testing"
+
+	"atmosphere/internal/faults"
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/pt"
+)
+
+// TestFaultInjectionDoesNotPerturbB: faults injected into domain A's
+// execution — allocator exhaustion on A's syscalls, dropped interrupt
+// edges — must not change B's observable state. Checked two ways:
+// step consistency inside the faulty run (B's view is bit-identical
+// across every faulty A step), and cross-run (B's final view in the
+// faulty run equals B's final view in a fault-free run of the same
+// trace).
+func TestFaultInjectionDoesNotPerturbB(t *testing.T) {
+	// driveA issues a fixed syscall trace from A's thread: mmaps (some
+	// of which fail under injection), munmaps, endpoint create/close.
+	driveA := func(s *Scenario, preStep func(), postStep func(step int)) {
+		k := s.K
+		step := 0
+		do := func(f func() kernel.Ret) {
+			preStep()
+			f()
+			postStep(step)
+			step++
+		}
+		base := hw.VirtAddr(0x700000000)
+		for i := 0; i < 24; i++ {
+			va := base + hw.VirtAddr(i*hw.PageSize4K)
+			do(func() kernel.Ret { return k.SysMmap(1, s.TA, va, 1, hw.Size4K, pt.RW) })
+			if i%3 == 0 {
+				do(func() kernel.Ret { return k.SysMunmap(1, s.TA, va, 1, hw.Size4K) })
+			}
+			if i%5 == 0 {
+				do(func() kernel.Ret { return k.SysNewEndpoint(1, s.TA, 3) })
+				do(func() kernel.Ret { return k.SysCloseEndpoint(1, s.TA, 3) })
+			}
+		}
+	}
+
+	// Fault-free reference run.
+	ref, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveA(ref, func() {}, func(int) {})
+	refB := Observe(ref.K, ref.B)
+
+	// Faulty run: allocator exhaustion armed only while A executes,
+	// plus an IRQ filter that deterministically drops edges (nothing
+	// binds IRQs here, so it guards the dispatch path stays inert).
+	s, err := Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := faults.NewInjector(2024, faults.Plan{Rules: []faults.Rule{
+		{Kind: faults.AllocExhaust, Rate: 0.4},
+		{Kind: faults.IRQDrop, Rate: 0.5},
+	}}, s.K.Machine.TotalCycles)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.K.IRQFilter = func(core, irq int) bool { return !inj.Hit(faults.IRQDrop) }
+
+	before := Observe(s.K, s.B)
+	driveA(s,
+		func() { s.K.Alloc.SetFaultHook(func() bool { return inj.Hit(faults.AllocExhaust) }) },
+		func(step int) {
+			s.K.Alloc.SetFaultHook(nil)
+			after := Observe(s.K, s.B)
+			if eq, diff := ViewEqual(before, after); !eq {
+				t.Fatalf("faulty A step %d perturbed B: %s", step, diff)
+			}
+		})
+	if inj.Injected[faults.AllocExhaust] == 0 {
+		t.Fatal("no allocator faults fired; test is vacuous")
+	}
+
+	// Cross-run: B's view is identical whether or not A was faulted.
+	if eq, diff := ViewEqual(refB, Observe(s.K, s.B)); !eq {
+		t.Fatalf("fault injection in A changed B across runs: %s", diff)
+	}
+}

@@ -19,6 +19,12 @@ type Generator struct {
 
 	count uint64
 	frame []byte
+
+	// errs counts frames that failed to build; lastErr keeps the most
+	// recent failure for diagnostics. Both surface through the NIC's
+	// device stats instead of panicking the driver process.
+	errs    uint64
+	lastErr error
 }
 
 // NewGenerator builds a generator with the given flow count and frame
@@ -39,6 +45,12 @@ func (g *Generator) SetPayload(fn func(i uint64, buf []byte) int) { g.payloadFn 
 // Count returns the number of frames generated.
 func (g *Generator) Count() uint64 { return g.count }
 
+// Errors returns the number of frames that failed to build.
+func (g *Generator) Errors() uint64 { return g.errs }
+
+// Err returns the most recent build failure, if any.
+func (g *Generator) Err() error { return g.lastErr }
+
 // Next produces the next frame. The returned slice is reused across
 // calls; the device model copies it into the DMA buffer immediately.
 func (g *Generator) Next() []byte {
@@ -58,7 +70,11 @@ func (g *Generator) Next() []byte {
 		netproto.MAC{2, 0, 0, 0, 0, 1}, netproto.MAC{2, 0, 0, 0, 0, 2},
 		srcIP, dstIP, uint16(9000+flow%64), 53, payload)
 	if err != nil {
-		panic(err)
+		// A malformed frame must not take the driver process down: nil
+		// tells the device to stop the burst and count the error.
+		g.errs++
+		g.lastErr = err
+		return nil
 	}
 	if n < g.size {
 		n = g.size // pad to the configured frame size

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 
+	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/iommu"
 )
@@ -36,6 +37,7 @@ var (
 	ErrRingFull  = errors.New("nic: ring full")
 	ErrRingEmpty = errors.New("nic: ring empty")
 	ErrDMAFault  = errors.New("nic: DMA fault (IOMMU)")
+	ErrGenerator = errors.New("nic: frame source failed to build a frame")
 )
 
 // Ring is one descriptor ring: the device's view of driver-provided
@@ -76,11 +78,20 @@ type Device struct {
 	// polling drivers leave it nil, §6.5).
 	OnRxInterrupt func()
 
+	// inj, when set, may corrupt RX descriptors or fault DMA accesses.
+	inj *faults.Injector
+
 	// Stats.
 	RxDelivered uint64
 	TxSent      uint64
 	RxDropped   uint64
 	Faults      uint64
+	// RxCorrupt counts injected descriptor corruptions; GenErrors
+	// counts frames the source failed to produce; InjectedFaults
+	// counts injected (as opposed to organic) DMA faults.
+	RxCorrupt      uint64
+	GenErrors      uint64
+	InjectedFaults uint64
 }
 
 // TxSinkFunc receives transmitted frames.
@@ -99,6 +110,9 @@ func (d *Device) AttachGenerator(g *Generator) { d.gen = g }
 // AttachSource connects an arbitrary frame source (stateful load
 // generators).
 func (d *Device) AttachSource(s FrameSource) { d.gen = s }
+
+// SetInjector attaches the fault injector (nil disables injection).
+func (d *Device) SetInjector(in *faults.Injector) { d.inj = in }
 
 // DeviceID returns the PCIe function identity the device DMAs as.
 func (d *Device) DeviceID() iommu.DeviceID { return d.dev }
@@ -189,6 +203,23 @@ func (d *Device) DeliverRX(n int) (int, error) {
 			d.Faults++
 			return delivered, ErrDMAFault
 		}
+		if d.inj.Hit(faults.NicDMAFault) {
+			// Injected translation failure: the access faults exactly
+			// as if the IOMMU had rejected it.
+			d.Faults++
+			d.InjectedFaults++
+			return delivered, ErrDMAFault
+		}
+		if d.inj.Hit(faults.NicDescCorrupt) {
+			// Injected ring corruption: the descriptor completes with a
+			// garbage (zero) length and no frame payload; a robust
+			// driver must drop it without dereferencing the length.
+			d.RxCorrupt++
+			d.mem.Write(da+descLen, []byte{0, 0})
+			d.mem.Write(da+descStatus, []byte{StatusDD})
+			d.rx.head = (d.rx.head + 1) % d.rx.size
+			continue
+		}
 		bufDMA := hw.PhysAddr(d.mem.ReadU64(da + descAddr))
 		buf, ok := d.translate(bufDMA)
 		if !ok {
@@ -196,6 +227,12 @@ func (d *Device) DeliverRX(n int) (int, error) {
 			return delivered, ErrDMAFault
 		}
 		frame := d.gen.Next()
+		if frame == nil {
+			// The source failed to build a frame; surface it as a
+			// device-level error rather than panicking.
+			d.GenErrors++
+			return delivered, ErrGenerator
+		}
 		if !d.mem.Contains(buf, uint64(len(frame))) {
 			d.Faults++
 			return delivered, ErrDMAFault

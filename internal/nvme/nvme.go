@@ -10,6 +10,7 @@ import (
 	"encoding/binary"
 	"errors"
 
+	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/iommu"
 )
@@ -53,6 +54,17 @@ var (
 	ErrBadOpcode  = errors.New("nvme: unsupported opcode")
 )
 
+// Completion status codes the device posts (status field, before the
+// phase-bit shift).
+const (
+	StatusOK       = 0x0000
+	StatusBadLBA   = 0x0281
+	StatusBadOp    = 0x0001
+	// StatusInternal is the generic internal device error an injected
+	// command fault completes with (recoverable by retry).
+	StatusInternal = 0x0286
+)
+
 // Device is one simulated NVMe controller with a single I/O queue pair
 // and an in-memory flash array (sized in blocks).
 type Device struct {
@@ -70,8 +82,23 @@ type Device struct {
 	cqTail         int
 	phase          byte
 
+	// inj, when set, may turn command executions into injected errors
+	// or withhold completions (stalls) until their release cycle.
+	inj     *faults.Injector
+	stalled []stalledCQE
+
 	// Stats.
 	Reads, Writes, Faults uint64
+	// InjectedErrors and InjectedStalls count faults the injector fired
+	// in this device.
+	InjectedErrors, InjectedStalls uint64
+}
+
+// stalledCQE is a completion withheld by an injected stall.
+type stalledCQE struct {
+	cid       uint16
+	status    uint16
+	releaseAt uint64
 }
 
 // New creates a device with capacity blocks of media, DMAing through
@@ -93,11 +120,17 @@ func (d *Device) translate(addr hw.PhysAddr) (hw.PhysAddr, bool) {
 	return pa, ok
 }
 
-// CreateQueues programs the queue pair (driver's admin step).
+// SetInjector attaches the fault injector (nil disables injection).
+func (d *Device) SetInjector(in *faults.Injector) { d.inj = in }
+
+// CreateQueues programs the queue pair (driver's admin step). A queue
+// reset drops any stalled completions — they belonged to the previous
+// queue generation (controller reset semantics).
 func (d *Device) CreateQueues(sq, cq hw.PhysAddr, size int) {
 	d.sqBase, d.cqBase, d.qSize = sq, cq, size
 	d.sqHead, d.sqTail, d.cqTail = 0, 0, 0
 	d.phase = 1
+	d.stalled = nil
 }
 
 // QueueSize returns the programmed queue depth.
@@ -135,10 +168,17 @@ func (d *Device) execute(idx int) error {
 	slba := binary.LittleEndian.Uint64(raw[40:48])
 	status := uint16(0)
 
+	if d.inj.Hit(faults.NvmeCmdError) {
+		// Injected internal error: the media is untouched and the
+		// command completes with a retryable status.
+		d.InjectedErrors++
+		return d.complete(cid, StatusInternal)
+	}
+
 	switch opcode {
 	case OpRead, OpWrite:
 		if slba >= d.nlb {
-			status = 0x0281 // LBA out of range
+			status = StatusBadLBA
 			break
 		}
 		buf, ok := d.translate(prp)
@@ -157,13 +197,26 @@ func (d *Device) execute(idx int) error {
 	case OpFlush:
 		// Media is always durable in the model.
 	default:
-		status = 0x0001 // invalid opcode
+		status = StatusBadOp
 	}
 	return d.complete(cid, status)
 }
 
-// complete posts a completion queue entry: CID at 12, status+phase at 14.
+// complete posts a completion queue entry, unless an injected stall
+// withholds it until its release cycle (Poke posts it then).
 func (d *Device) complete(cid uint16, status uint16) error {
+	if hit, stallCycles := d.inj.Should(faults.NvmeStall); hit {
+		d.InjectedStalls++
+		d.stalled = append(d.stalled, stalledCQE{
+			cid: cid, status: status, releaseAt: d.inj.Now() + stallCycles,
+		})
+		return nil
+	}
+	return d.postCQE(cid, status)
+}
+
+// postCQE writes one completion queue entry: CID at 12, status+phase at 14.
+func (d *Device) postCQE(cid uint16, status uint16) error {
 	cqe, ok := d.translate(d.cqBase + hw.PhysAddr(d.cqTail*CQESize))
 	if !ok {
 		d.Faults++
@@ -180,6 +233,35 @@ func (d *Device) complete(cid uint16, status uint16) error {
 	}
 	return nil
 }
+
+// Poke releases stalled completions whose release cycle has passed
+// (drivers call it from their polling loops; time advances as the
+// polling core charges cycles). Completions release in stall order.
+func (d *Device) Poke() error {
+	if len(d.stalled) == 0 {
+		return nil
+	}
+	now := d.inj.Now()
+	var kept []stalledCQE
+	for i, s := range d.stalled {
+		if s.releaseAt <= now {
+			if err := d.postCQE(s.cid, s.status); err != nil {
+				// Re-queue this entry and the remainder before
+				// surfacing the fault.
+				d.stalled = append(kept, d.stalled[i:]...)
+				return err
+			}
+			continue
+		}
+		kept = append(kept, s)
+	}
+	d.stalled = kept
+	return nil
+}
+
+// StalledCompletions reports how many completions an injected stall is
+// currently withholding (tests and the supervisor's diagnostics).
+func (d *Device) StalledCompletions() int { return len(d.stalled) }
 
 // MediaAt returns the media contents for verification in tests.
 func (d *Device) MediaAt(lba uint64) []byte {

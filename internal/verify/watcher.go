@@ -1,0 +1,65 @@
+package verify
+
+import (
+	"fmt"
+
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/pm"
+)
+
+// StepWatcher checks the full well-formedness suite after every kernel
+// transition by riding the kernel's PostSyscall hook. Where Checker
+// wraps each syscall explicitly (spec + WF per call site), the watcher
+// covers transitions the harness does not issue itself — the syscalls a
+// driver environment makes internally, the bounded-kill rounds of a
+// supervisor recovery — which is exactly what a faulty trace exercises:
+// every step of the trace, including mid-recovery states, must satisfy
+// TotalWF (page-closure leak freedom included, via MemoryWF/QuotaWF).
+type StepWatcher struct {
+	K *kernel.Kernel
+	// Every checks only each Nth transition when > 1 (full-suite scans
+	// are O(state); chaos workloads run tens of thousands of steps).
+	Every uint64
+
+	Steps      uint64 // transitions observed
+	Checked    uint64 // transitions checked
+	Violations []error
+
+	prev func(name string, caller pm.Ptr, ret kernel.Ret)
+}
+
+// Watch installs a step watcher on the kernel, chaining any existing
+// PostSyscall hook. every selects the checking stride (0 and 1 both
+// mean every transition).
+func Watch(k *kernel.Kernel, every uint64) *StepWatcher {
+	if every == 0 {
+		every = 1
+	}
+	w := &StepWatcher{K: k, Every: every, prev: k.PostSyscall}
+	k.PostSyscall = func(name string, caller pm.Ptr, ret kernel.Ret) {
+		if w.prev != nil {
+			w.prev(name, caller, ret)
+		}
+		w.Steps++
+		if w.Steps%w.Every != 0 {
+			return
+		}
+		w.Checked++
+		if err := TotalWF(k); err != nil {
+			w.Violations = append(w.Violations,
+				fmt.Errorf("step %d after %s: %w", w.Steps, name, err))
+		}
+	}
+	return w
+}
+
+// Detach restores the kernel's previous PostSyscall hook.
+func (w *StepWatcher) Detach() { w.K.PostSyscall = w.prev }
+
+// Err returns the first violation, or nil.
+func (w *StepWatcher) Err() error {
+	if len(w.Violations) == 0 {
+		return nil
+	}
+	return w.Violations[0]
+}
