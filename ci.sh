@@ -5,6 +5,14 @@ set -eu
 
 cd "$(dirname "$0")"
 
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files are not formatted:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -13,5 +21,14 @@ go build ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== atmo-trace smoke"
+trace_out=$(mktemp /tmp/atmo-trace-smoke.XXXXXX.json)
+trap 'rm -f "$trace_out"' EXIT
+go run ./cmd/atmo-trace -workload kvstore -seed 1 -ops 50 -o "$trace_out"
+if [ ! -s "$trace_out" ]; then
+    echo "atmo-trace: smoke run produced an empty trace" >&2
+    exit 1
+fi
 
 echo "ci: all checks passed"

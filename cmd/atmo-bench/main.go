@@ -12,15 +12,19 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"atmosphere/internal/bench"
+	"atmosphere/internal/obs"
 )
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or comma list, or 'all')")
 	list := flag.Bool("list", false, "list experiment ids")
+	traceOut := flag.String("trace", "", "write a Perfetto trace of the instrumented experiments to this path")
+	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump to this path")
 	flag.Parse()
 
 	if *list {
@@ -29,6 +33,16 @@ func main() {
 		}
 		return
 	}
+
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	bench.SetObs(tracer, registry)
 
 	var run []bench.Experiment
 	if *experiment == "all" {
@@ -51,4 +65,32 @@ func main() {
 		}
 		fmt.Println(res)
 	}
+
+	if tracer != nil {
+		if err := writeFile(*traceOut, func(w io.Writer) error { return obs.WriteTrace(w, tracer) }); err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace (%d events) to %s\n", tracer.Len(), *traceOut)
+	}
+	if registry != nil {
+		if err := writeFile(*metricsOut, registry.WriteText); err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+}
+
+// writeFile creates path and streams write into it.
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -23,12 +23,14 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 	"atmosphere/internal/verify"
@@ -44,11 +46,17 @@ func main() {
 	seed := flag.Uint64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 1, "number of independent seeds")
 	chaos := flag.Bool("chaos", false, "inject faults and report the invariant pass rate")
+	traceOut := flag.String("trace", "", "with -chaos: write the last seed's Perfetto trace to this path")
+	metricsOut := flag.String("metrics", "", "with -chaos: write a metrics dump to this path")
 	flag.Parse()
 
 	if *chaos {
-		runChaos(*seed, *seeds, *steps)
+		runChaos(*seed, *seeds, *steps, *traceOut, *metricsOut)
 		return
+	}
+	if *traceOut != "" || *metricsOut != "" {
+		fmt.Fprintln(os.Stderr, "atmo-fuzz: -trace/-metrics require -chaos")
+		os.Exit(2)
 	}
 
 	total := stats{ops: map[string]int{}, errnos: map[string]int{}}
@@ -297,12 +305,23 @@ func chaosPlan() faults.Plan {
 
 // runChaos drives the -chaos mode: per seed, a randomized trace on a
 // raw kernel with the injector armed, TotalWF checked after every
-// transition, and a pass-rate summary at the end.
-func runChaos(first uint64, seeds, steps int) {
+// transition, and a pass-rate summary at the end. Each seed gets a
+// fresh tracer (one kernel, one timeline); the last seed's trace is
+// the one exported. The metrics registry is shared, so counters
+// accumulate across seeds.
+func runChaos(first uint64, seeds, steps int, traceOut, metricsOut string) {
+	var registry *obs.Registry
+	if metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
 	checked, violations := 0, 0
 	for s := 0; s < seeds; s++ {
 		seed := first + uint64(s)
-		c, v, inj, err := chaosOne(seed, steps)
+		if traceOut != "" {
+			tracer = obs.NewTracer(0)
+		}
+		c, v, inj, err := chaosOne(seed, steps, tracer, registry)
 		checked += c
 		violations += v
 		if err != nil {
@@ -318,9 +337,36 @@ func runChaos(first uint64, seeds, steps int) {
 	}
 	fmt.Printf("\nchaos: %d transitions checked under faults, %d violations, invariant pass rate %.2f%%\n",
 		checked, violations, rate)
+	if tracer != nil {
+		if err := writeOut(traceOut, func(w io.Writer) error { return obs.WriteTrace(w, tracer) }); err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-fuzz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote trace (%d events) to %s\n", tracer.Len(), traceOut)
+	}
+	if registry != nil {
+		if err := writeOut(metricsOut, registry.WriteText); err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-fuzz: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsOut)
+	}
 	if violations > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeOut creates path and streams write into it.
+func writeOut(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // chaosOne runs one seed's randomized trace with faults armed. Unlike
@@ -328,15 +374,18 @@ func runChaos(first uint64, seeds, steps int) {
 // syscalls return ENOMEM mid-operation, which the per-step spec checker
 // would (correctly) flag as off-spec, while the invariant suite must
 // hold regardless: errored syscalls may abort, never corrupt.
-func chaosOne(seed uint64, steps int) (checked, violations int, inj *faults.Injector, err error) {
+func chaosOne(seed uint64, steps int, tracer *obs.Tracer, registry *obs.Registry) (checked, violations int, inj *faults.Injector, err error) {
 	k, init, err := kernel.Boot(hw.Config{Frames: 4096, Cores: 4, TLBSlots: 256})
 	if err != nil {
 		return 0, 0, nil, err
 	}
+	k.AttachObs(tracer, registry)
 	inj, err = faults.NewInjector(seed, chaosPlan(), k.Machine.TotalCycles)
 	if err != nil {
 		return 0, 0, nil, err
 	}
+	inj.SetTracer(tracer)
+	inj.RegisterMetrics(registry)
 	k.Alloc.SetFaultHook(func() bool { return inj.Hit(faults.AllocExhaust) })
 	k.IRQFilter = func(core, irq int) bool { return !inj.Hit(faults.IRQDrop) }
 

@@ -20,6 +20,7 @@ import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nic"
 	"atmosphere/internal/nvme"
+	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 	"atmosphere/internal/verify"
@@ -28,13 +29,26 @@ import (
 func main() {
 	frames := flag.Int("frames", 8192, "physical frames (4 KiB)")
 	cores := flag.Int("cores", 4, "simulated cores")
+	traceOut := flag.String("trace", "", "write a Perfetto trace of the demo workload to this path")
+	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump to this path")
 	flag.Parse()
+
+	var tracer *obs.Tracer
+	var registry *obs.Registry
+	if *traceOut != "" {
+		tracer = obs.NewTracer(0)
+	}
+	if *metricsOut != "" {
+		registry = obs.NewRegistry()
+	}
 
 	c, init, err := verify.NewChecker(hw.Config{Frames: *frames, Cores: *cores, TLBSlots: 512})
 	if err != nil {
 		fail(err)
 	}
 	k := c.K
+	k.AttachObs(tracer, registry)
+	defer writeObs(tracer, registry, *traceOut, *metricsOut)
 	say := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 	must := func(r kernel.Ret, err error) kernel.Ret {
 		if err != nil {
@@ -155,6 +169,37 @@ func driverDemo(say func(string, ...any)) {
 	}
 	say("nic driver:  %s (injected corruptions: %d)",
 		nenv.Drv.Stats(), ninj.Injected[faults.NicDescCorrupt])
+}
+
+// writeObs exports the demo kernel's trace/metrics to the flag-named
+// files (nil sink or empty path skips that export).
+func writeObs(t *obs.Tracer, m *obs.Registry, tracePath, metricsPath string) {
+	if t != nil && tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fail(err)
+		}
+		if err := obs.WriteTrace(f, t); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote trace (%d events) to %s\n", t.Len(), tracePath)
+	}
+	if m != nil && metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := m.WriteText(f); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote metrics to %s\n", metricsPath)
+	}
 }
 
 func fail(err error) {

@@ -1,0 +1,141 @@
+// Command atmo-trace runs a workload on the simulated kernel with the
+// cycle-accurate tracer attached and exports the result: a Chrome/
+// Perfetto trace_event JSON file (open it at https://ui.perfetto.dev)
+// and, optionally, a plain-text metrics dump. Everything rides the
+// deterministic cycle clock, so two runs with the same flags produce
+// byte-identical files.
+//
+// Usage:
+//
+//	atmo-trace -workload kvstore -seed 1 -o trace.json
+//	atmo-trace -workload chaos -seed 7 -o trace.json -metrics metrics.txt
+//	atmo-trace -workload ipc -ops 1000 -o trace.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atmosphere/internal/drivers"
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs"
+	"atmosphere/internal/pm"
+)
+
+func main() {
+	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, chaos, ipc")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	ops := flag.Int("ops", 200, "operations (kv ops or ipc round trips)")
+	out := flag.String("o", "trace.json", "Perfetto trace output path")
+	metricsOut := flag.String("metrics", "", "metrics dump output path (empty = skip)")
+	events := flag.Int("events", obs.DefaultEventCapacity, "tracer ring capacity (events)")
+	flag.Parse()
+
+	tracer := obs.NewTracer(*events)
+	registry := obs.NewRegistry()
+
+	var totalCycles uint64
+	var err error
+	switch *workload {
+	case "kvstore":
+		totalCycles, err = runKV(tracer, registry, *seed, *ops, drivers.ChaosConfig{})
+	case "chaos":
+		totalCycles, err = runKV(tracer, registry, *seed, *ops,
+			drivers.ChaosConfig{Plan: drivers.DefaultChaosPlan()})
+	case "ipc":
+		totalCycles, err = runIPC(tracer, registry, *ops)
+	default:
+		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc)\n", *workload)
+		os.Exit(2)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fail(err)
+	}
+	if err := obs.WriteTrace(f, tracer); err != nil {
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := registry.WriteText(mf); err != nil {
+			fail(err)
+		}
+		if err := mf.Close(); err != nil {
+			fail(err)
+		}
+	}
+
+	coverage := 0.0
+	if totalCycles > 0 {
+		coverage = 100 * float64(tracer.SpanTotal()) / float64(totalCycles)
+	}
+	fmt.Printf("%s: %d events (%d dropped), trace hash %016x\n",
+		*workload, tracer.Len(), tracer.Dropped(), tracer.Hash())
+	fmt.Printf("spans cover %d of %d charged cycles (%.1f%%)\n",
+		tracer.SpanTotal(), totalCycles, coverage)
+	fmt.Printf("wrote %s — open it at https://ui.perfetto.dev\n", *out)
+}
+
+// runKV drives the chaos-harness kvstore workload (fault-free when
+// cfg.Plan is empty) with the tracer attached end to end.
+func runKV(t *obs.Tracer, m *obs.Registry, seed uint64, ops int, cfg drivers.ChaosConfig) (uint64, error) {
+	cfg.Seed = seed
+	cfg.Ops = ops
+	cfg.Trace = t
+	cfg.Metrics = m
+	report, err := drivers.RunChaosKV(cfg)
+	if report == nil {
+		return 0, err
+	}
+	return report.TotalCycles, err
+}
+
+// runIPC traces a bare call/reply ping-pong — the Table 3 microbench
+// shape, instrumented.
+func runIPC(t *obs.Tracer, m *obs.Registry, rounds int) (uint64, error) {
+	k, init, err := kernel.Boot(hw.Config{Frames: 1024, Cores: 2, TLBSlots: 64})
+	if err != nil {
+		return 0, err
+	}
+	k.AttachObs(t, m)
+	r := k.SysNewThread(0, init, 0)
+	if r.Errno != kernel.OK {
+		return 0, fmt.Errorf("atmo-trace: new_thread: %v", r.Errno)
+	}
+	server := pm.Ptr(r.Vals[0])
+	re := k.SysNewEndpoint(0, init, 0)
+	if re.Errno != kernel.OK {
+		return 0, fmt.Errorf("atmo-trace: endpoint: %v", re.Errno)
+	}
+	k.PM.Thrd(server).Endpoints[0] = pm.Ptr(re.Vals[0])
+	k.PM.EndpointIncRef(pm.Ptr(re.Vals[0]), 1)
+	if r := k.SysRecv(0, server, 0, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
+		return 0, fmt.Errorf("atmo-trace: park: %v", r.Errno)
+	}
+	for i := 0; i < rounds; i++ {
+		if r := k.SysCall(0, init, 0, kernel.SendArgs{Regs: [4]uint64{uint64(i)}}); r.Errno != kernel.EWOULDBLOCK {
+			return 0, fmt.Errorf("atmo-trace: call: %v", r.Errno)
+		}
+		if r := k.SysReplyRecv(0, server, 0, kernel.SendArgs{}, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
+			return 0, fmt.Errorf("atmo-trace: reply_recv: %v", r.Errno)
+		}
+	}
+	return k.Machine.TotalCycles(), nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atmo-trace:", err)
+	os.Exit(1)
+}

@@ -61,6 +61,7 @@ func degradedRun(rate float64) (float64, drivers.DriverStats, int, error) {
 	if err != nil {
 		return 0, drivers.DriverStats{}, 0, err
 	}
+	attachObs(env.K)
 	if rate > 0 {
 		inj, err := faults.NewInjector(8021, faults.Plan{Rules: []faults.Rule{
 			{Kind: faults.NvmeCmdError, Rate: rate},

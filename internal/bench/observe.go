@@ -1,0 +1,30 @@
+package bench
+
+import (
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs"
+)
+
+// Observability taps for the benchmark kernels. Each experiment boots
+// its own kernel, so cmd/atmo-bench installs the sinks once with SetObs
+// and every instrumented experiment wires them in at boot. Attaching
+// observability never charges a cycle (tracingfree_test.go holds Table 3
+// to that), so the measured numbers are identical with and without it.
+var (
+	benchTracer  *obs.Tracer
+	benchMetrics *obs.Registry
+)
+
+// SetObs installs the tracer/registry every subsequent experiment
+// attaches to its kernel (nil/nil disables).
+func SetObs(t *obs.Tracer, m *obs.Registry) {
+	benchTracer = t
+	benchMetrics = m
+}
+
+// attachObs wires the installed sinks into a freshly booted kernel.
+func attachObs(k *kernel.Kernel) {
+	if benchTracer != nil || benchMetrics != nil {
+		k.AttachObs(benchTracer, benchMetrics)
+	}
+}

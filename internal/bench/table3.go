@@ -53,6 +53,7 @@ func atmoCallReplyCycles() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	attachObs(k)
 	r := k.SysNewThread(0, init, 0)
 	if r.Errno != kernel.OK {
 		return 0, fmt.Errorf("bench: new_thread: %v", r.Errno)
@@ -93,6 +94,7 @@ func atmoMapPageCycles() (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	attachObs(k)
 	// Warm the region's intermediate tables.
 	if r := k.SysMmap(0, init, 0x40000000, 1, hw.Size4K, pt.RW); r.Errno != kernel.OK {
 		return 0, fmt.Errorf("bench: warm mmap: %v", r.Errno)

@@ -1,0 +1,56 @@
+package bench
+
+import (
+	"testing"
+
+	"atmosphere/internal/obs"
+)
+
+// Table 3 cycle costs of the deterministic cycle model. Observability
+// must be free: attaching a tracer and metrics registry to the
+// benchmark kernels may not move either number by a single cycle, and
+// neither may this PR move them against the pre-observability baseline.
+const (
+	baselineCallReply = 1060.0
+	baselineMapPage   = 1980.0
+)
+
+func TestTracingIsFree(t *testing.T) {
+	SetObs(nil, nil)
+	defer SetObs(nil, nil)
+
+	offIPC, err := atmoCallReplyCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	offMap, err := atmoMapPageCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if offIPC != baselineCallReply {
+		t.Errorf("call/reply without tracing = %v cycles, baseline %v", offIPC, baselineCallReply)
+	}
+	if offMap != baselineMapPage {
+		t.Errorf("map-a-page without tracing = %v cycles, baseline %v", offMap, baselineMapPage)
+	}
+
+	tr := obs.NewTracer(1 << 12)
+	SetObs(tr, obs.NewRegistry())
+	onIPC, err := atmoCallReplyCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	onMap, err := atmoMapPageCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onIPC != offIPC {
+		t.Errorf("tracing moved call/reply: %v -> %v cycles", offIPC, onIPC)
+	}
+	if onMap != offMap {
+		t.Errorf("tracing moved map-a-page: %v -> %v cycles", offMap, onMap)
+	}
+	if tr.Len() == 0 {
+		t.Error("tracer attached but recorded no events — the guard proved nothing")
+	}
+}

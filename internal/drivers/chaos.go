@@ -10,6 +10,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nvme"
+	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/verify"
 )
@@ -36,6 +37,15 @@ type ChaosConfig struct {
 	VerifyEveryOps int
 	// HeartbeatTimeout overrides the supervisor deadline (cycles).
 	HeartbeatTimeout uint64
+
+	// Trace/Metrics, when set, are attached to the booted kernel and
+	// threaded through the injector, supervisor, driver, and workload.
+	// Observability never charges cycles, so the report is identical
+	// with or without them (driver counters aside: a registry makes
+	// them cumulative across respawned generations, which the report
+	// already was).
+	Trace   *obs.Tracer
+	Metrics *obs.Registry
 }
 
 // ChaosReport is the deterministic outcome of a chaos run: two runs
@@ -98,12 +108,12 @@ func DefaultChaosPlan() faults.Plan {
 
 // Chaos-harness tuning.
 const (
-	chaosDriverQuota = 300     // pages per driver container generation
-	chaosDriverCore  = 1       // driver thread's core
-	wedgeThreshold   = 3       // consecutive poll timeouts before declaring a wedge
-	maxWedgeEvents   = 32      // recoveries before the run gives up
-	spuriousIRQLine  = 77      // unbound line raised by IRQSpurious
-	recordSize       = 64      // log record bytes
+	chaosDriverQuota = 300 // pages per driver container generation
+	chaosDriverCore  = 1   // driver thread's core
+	wedgeThreshold   = 3   // consecutive poll timeouts before declaring a wedge
+	maxWedgeEvents   = 32  // recoveries before the run gives up
+	spuriousIRQLine  = 77  // unbound line raised by IRQSpurious
+	recordSize       = 64  // log record bytes
 	defaultHeartbeat = 2_000_000
 )
 
@@ -116,7 +126,12 @@ type chaosHarness struct {
 	sup  *kernel.Supervisor
 	drv  *NvmeDriver
 
-	accum  DriverStats // stats of dead driver generations
+	// Tracing state (zero when cfg.Trace is nil).
+	tr                     *obs.Tracer
+	appTrack, harnessTrack obs.TrackID
+	nSet, nGet, nWait      obs.NameID
+
+	accum  DriverStats // stats of dead driver generations (no-registry runs)
 	report ChaosReport
 }
 
@@ -148,8 +163,17 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	k.AttachObs(cfg.Trace, cfg.Metrics)
 	h := &chaosHarness{cfg: cfg, k: k, init: init}
 	h.report.Ops = cfg.Ops
+	if t := cfg.Trace; t != nil {
+		h.tr = t
+		h.appTrack = t.Track(0, kernel.CoreName(0), "app")
+		h.harnessTrack = t.Track(0, kernel.CoreName(0), "harness")
+		h.nSet = t.Name("kv.set")
+		h.nGet = t.Name("kv.get")
+		h.nWait = t.Name("chaos.wedge_wait")
+	}
 
 	watcher := verify.Watch(k, 1)
 
@@ -157,6 +181,8 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.inj.SetTracer(cfg.Trace)
+	h.inj.RegisterMetrics(cfg.Metrics)
 	h.dev = nvme.New(k.Machine.Mem, k.IOMMU, 2, 4096)
 	h.dev.SetInjector(h.inj)
 	k.IRQFilter = func(core, irq int) bool { return !h.inj.Hit(faults.IRQDrop) }
@@ -193,14 +219,20 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 		binary.LittleEndian.PutUint64(key[:], uint64(op)%997)
 		binary.LittleEndian.PutUint64(val[:], uint64(op))
 		binary.LittleEndian.PutUint64(val[8:], cfg.Seed)
-		if !kv.Set(appClk, key[:], val[:]) {
+		setStart := appClk.Cycles()
+		okSet := kv.Set(appClk, key[:], val[:])
+		h.appSpan(h.nSet, setStart, uint64(op))
+		if !okSet {
 			return nil, fmt.Errorf("drivers: kv table full at op %d", op)
 		}
 		h.report.KVSets++
 		// Read-after-write of an earlier key keeps the GET path hot.
 		if op%3 == 0 {
 			binary.LittleEndian.PutUint64(key[:], uint64(op/2)%997)
-			if _, hit := kv.Get(appClk, key[:]); hit {
+			getStart := appClk.Cycles()
+			_, hit := kv.Get(appClk, key[:])
+			h.appSpan(h.nGet, getStart, uint64(op))
+			if hit {
 				h.report.KVHits++
 			}
 			h.report.KVGets++
@@ -317,9 +349,13 @@ func (h *chaosHarness) flush(records [][]byte, lba uint64) error {
 // heartbeat deadline, and lets the supervisor kill + respawn the driver.
 func (h *chaosHarness) recoverWedge() error {
 	h.report.WedgeEvents++
-	s := h.drv.Stats()
-	s.Wedged++
-	h.accum.Add(s)
+	h.drv.NoteWedged()
+	if h.cfg.Metrics == nil {
+		// Standalone counters die with the generation: fold them now.
+		// (Registry-backed counters are shared with the successor, so the
+		// last generation's Stats() is already the cumulative total.)
+		h.accum.Add(h.drv.Stats())
+	}
 	before := h.sup.Restarts("nvme")
 	// Burn supervisor-core cycles until the deadline passes and the
 	// watchdog acts (bounded: the deadline is a fixed cycle count away).
@@ -331,9 +367,21 @@ func (h *chaosHarness) recoverWedge() error {
 		if len(events) > 0 || h.sup.Restarts("nvme") > before {
 			return nil
 		}
-		h.k.Machine.Core(0).Clock.Charge(h.cfg.HeartbeatTimeout / 8)
+		clk := &h.k.Machine.Core(0).Clock
+		waitStart := clk.Cycles()
+		clk.Charge(h.cfg.HeartbeatTimeout / 8)
+		if h.tr != nil {
+			h.tr.Span(h.harnessTrack, h.nWait, waitStart, clk.Cycles())
+		}
 	}
 	return fmt.Errorf("drivers: chaos: supervisor never restarted the driver")
+}
+
+// appSpan traces one kvstore operation on core 0's app track.
+func (h *chaosHarness) appSpan(name obs.NameID, start uint64, arg uint64) {
+	if h.tr != nil {
+		h.tr.SpanArg(h.appTrack, name, start, h.k.Machine.Core(0).Clock.Cycles(), arg)
+	}
 }
 
 // spawnDriver builds one driver generation: container, process, thread,

@@ -17,6 +17,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nic"
+	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 )
@@ -51,16 +52,18 @@ type IxgbeDriver struct {
 
 	RxCount, TxCount uint64
 
-	stats DriverStats
+	stats *statSet
+
+	// Tracing (nil/zero when no tracer is attached to the kernel).
+	tr       *obs.Tracer
+	track    obs.TrackID
+	nRx, nTx obs.NameID
 }
 
-// Stats returns the driver's fault/drop counter block.
-func (d *IxgbeDriver) Stats() DriverStats {
-	s := d.stats
-	s.Submitted = d.TxCount
-	s.Completed = d.RxCount
-	return s
-}
+// Stats returns the driver's fault/drop counter block — a snapshot of
+// the obs counters behind it (Submitted = frames transmitted,
+// Completed = frames received).
+func (d *IxgbeDriver) Stats() DriverStats { return d.stats.view() }
 
 // ringBytes returns pages needed for n descriptors.
 func ringPages(n int) int {
@@ -72,6 +75,13 @@ func ringPages(n int) int {
 // the process's IOMMU domain, and programs the device.
 func SetupIxgbe(k *kernel.Kernel, tid pm.Ptr, core int, dev *nic.Device, ringSize int, useIOMMU bool) (*IxgbeDriver, error) {
 	d := &IxgbeDriver{K: k, Tid: tid, Core: core, Dev: dev, ringSize: ringSize}
+	d.stats = newStatSet(k.Metrics(), "ixgbe")
+	if t := k.Tracer(); t != nil {
+		d.tr = t
+		d.track = t.Track(core, kernel.CoreName(core), "ixgbe-driver")
+		d.nRx = t.Name("ixgbe.rx_burst")
+		d.nTx = t.Name("ixgbe.tx_burst")
+	}
 	proc := k.PM.Proc(k.PM.Thrd(tid).OwningProc)
 
 	vaBase := hw.VirtAddr(0x200000000)
@@ -185,7 +195,13 @@ func (d *IxgbeDriver) clock() *hw.Clock { return &d.K.Machine.Core(d.Core).Clock
 func (d *IxgbeDriver) RxBurst(max int) int {
 	clk := d.clock()
 	mem := d.K.Machine.Mem
+	spanStart := clk.Cycles()
 	n, scanned := 0, 0
+	defer func() {
+		if d.tr != nil {
+			d.tr.SpanArg(d.track, d.nRx, spanStart, clk.Cycles(), uint64(n))
+		}
+	}()
 	for n < max {
 		i := d.rxNext
 		da := d.ringPhys + hw.PhysAddr(i*nic.DescSize)
@@ -198,7 +214,7 @@ func (d *IxgbeDriver) RxBurst(max int) int {
 			// Corrupted descriptor (injected or device fault): drop it,
 			// recycle the slot, and keep going — a bad length must never
 			// become a bad frame view.
-			d.stats.BadDesc++
+			d.stats.badDesc.Inc()
 			mem.Write(da+8, []byte{0, 0})
 			mem.Write(da+10, []byte{0})
 			clk.Charge(hw.CostCacheTouch * 2)
@@ -226,6 +242,7 @@ func (d *IxgbeDriver) RxBurst(max int) int {
 		d.Dev.WriteRDT((d.rxNext + d.ringSize - 1) % d.ringSize)
 		clk.Charge(hw.CostMMIOWrite)
 		d.RxCount += uint64(n)
+		d.stats.completed.Add(uint64(n))
 	}
 	d.Frames = d.Frames[:n]
 	return n
@@ -239,6 +256,12 @@ func (d *IxgbeDriver) TxBurst(frames [][]byte) error {
 	}
 	clk := d.clock()
 	mem := d.K.Machine.Mem
+	spanStart := clk.Cycles()
+	defer func() {
+		if d.tr != nil {
+			d.tr.SpanArg(d.track, d.nTx, spanStart, clk.Cycles(), uint64(len(frames)))
+		}
+	}()
 	for _, f := range frames {
 		i := d.txNext
 		mem.Write(d.txBufPhys[i], f)
@@ -254,9 +277,10 @@ func (d *IxgbeDriver) TxBurst(frames [][]byte) error {
 	}
 	clk.Charge(hw.CostMMIOWrite)
 	if err := d.Dev.WriteTDT(d.txNext); err != nil {
-		d.stats.DMAFaults++
+		d.stats.dmaFaults.Inc()
 		return err
 	}
 	d.TxCount += uint64(len(frames))
+	d.stats.submitted.Add(uint64(len(frames)))
 	return nil
 }

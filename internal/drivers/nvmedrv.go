@@ -7,6 +7,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nvme"
+	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 )
@@ -46,7 +47,12 @@ type NvmeDriver struct {
 	// (DefaultPollBudget when zero).
 	PollBudget uint64
 
-	stats DriverStats
+	stats *statSet
+
+	// Tracing (nil/zero when no tracer is attached to the kernel).
+	tr                       *obs.Tracer
+	track                    obs.TrackID
+	nSubmit, nPoll, nBackoff obs.NameID
 
 	// Submitted and Completed remain exported for the benchmarks.
 	Submitted, Completed uint64
@@ -66,6 +72,14 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 	d := &NvmeDriver{
 		K: k, Tid: tid, Core: core, Dev: dev, qSize: qSize, phase: 1,
 		inflightCmds: make(map[uint16]*nvmeCmd),
+	}
+	d.stats = newStatSet(k.Metrics(), "nvme")
+	if t := k.Tracer(); t != nil {
+		d.tr = t
+		d.track = t.Track(core, kernel.CoreName(core), "nvme-driver")
+		d.nSubmit = t.Name("nvme.submit_batch")
+		d.nPoll = t.Name("nvme.poll")
+		d.nBackoff = t.Name("nvme.backoff")
 	}
 	proc := k.PM.Proc(k.PM.Thrd(tid).OwningProc)
 	vaBase := hw.VirtAddr(0x300000000)
@@ -150,13 +164,16 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 
 func (d *NvmeDriver) clock() *hw.Clock { return &d.K.Machine.Core(d.Core).Clock }
 
-// Stats returns the driver's fault/retry counter block.
-func (d *NvmeDriver) Stats() DriverStats {
-	s := d.stats
-	s.Submitted = d.Submitted
-	s.Completed = d.Completed
-	return s
-}
+// Stats returns the driver's fault/retry counter block — a snapshot of
+// the obs counters behind it. With a metrics registry attached the
+// counters are shared across respawned generations, so the snapshot is
+// cumulative; without one it covers this generation only (the exported
+// Submitted/Completed fields always stay per-generation).
+func (d *NvmeDriver) Stats() DriverStats { return d.stats.view() }
+
+// NoteWedged counts a wedge declaration (the supervisor or harness
+// observed the driver stuck and is about to recover it).
+func (d *NvmeDriver) NoteWedged() { d.stats.wedged.Inc() }
 
 // Inflight returns the number of commands awaiting completion.
 func (d *NvmeDriver) Inflight() int { return d.inflight }
@@ -176,7 +193,10 @@ func (d *NvmeDriver) backoff(attempt int) {
 		wait <<= uint(attempt)
 	}
 	d.clock().Charge(wait)
-	d.stats.Backoffs++
+	d.stats.backoffs.Inc()
+	if d.tr != nil {
+		d.tr.Instant(d.track, d.nBackoff, d.clock().Cycles(), uint64(attempt))
+	}
 }
 
 // pushSQE writes one submission queue entry at the current tail and
@@ -205,13 +225,13 @@ func (d *NvmeDriver) ringDoorbell() error {
 		if err = d.Dev.WriteSQDoorbell(d.sqTail); err == nil {
 			return nil
 		}
-		d.stats.DMAFaults++
+		d.stats.dmaFaults.Inc()
 		if attempt < MaxRetries {
-			d.stats.Retries++
+			d.stats.retries.Inc()
 			d.backoff(attempt)
 		}
 	}
-	d.stats.Failed++
+	d.stats.failed.Inc()
 	return fmt.Errorf("drivers: doorbell: %w", err)
 }
 
@@ -222,6 +242,12 @@ func (d *NvmeDriver) SubmitBatch(op byte, slba uint64, n int) error {
 	if n <= 0 || n >= d.qSize {
 		return fmt.Errorf("drivers: bad batch size %d", n)
 	}
+	spanStart := d.clock().Cycles()
+	defer func() {
+		if d.tr != nil {
+			d.tr.SpanArg(d.track, d.nSubmit, spanStart, d.clock().Cycles(), uint64(n))
+		}
+	}()
 	for i := 0; i < n; i++ {
 		cid := d.nextCID
 		prp := d.bufDMA[d.sqTail]
@@ -233,6 +259,7 @@ func (d *NvmeDriver) SubmitBatch(op byte, slba uint64, n int) error {
 		return err
 	}
 	d.Submitted += uint64(n)
+	d.stats.submitted.Add(uint64(n))
 	return nil
 }
 
@@ -250,12 +277,17 @@ func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 		budget = DefaultPollBudget
 	}
 	start := clk.Cycles()
+	defer func() {
+		if d.tr != nil {
+			d.tr.Span(d.track, d.nPoll, start, clk.Cycles())
+		}
+	}()
 	spin := uint64(pollSpinBase)
 	n := 0
 	for n < max && d.inflight > 0 {
 		// Release any stalled completions whose time has come.
 		if err := d.Dev.Poke(); err != nil {
-			d.stats.DMAFaults++
+			d.stats.dmaFaults.Inc()
 			return n, fmt.Errorf("drivers: poke: %w", err)
 		}
 		cqe := d.cqPhys + hw.PhysAddr(d.cqHead*nvme.CQESize)
@@ -265,7 +297,7 @@ func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 			// Nothing ready: spin-wait with adaptive pacing, bounded by
 			// the cycle budget.
 			if clk.Cycles()-start > budget {
-				d.stats.Timeouts++
+				d.stats.timeouts.Inc()
 				return n, fmt.Errorf("%w: %d in flight after %d cycles",
 					ErrCmdTimeout, d.inflight, budget)
 			}
@@ -285,7 +317,7 @@ func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 		}
 		d.inflight--
 		if status != 0 {
-			d.stats.CmdErrors++
+			d.stats.cmdErrors.Inc()
 			cmd := d.inflightCmds[cid]
 			if cmd == nil {
 				// Completion for a command we no longer track (dropped
@@ -294,12 +326,12 @@ func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 			}
 			if cmd.attempts >= MaxRetries {
 				delete(d.inflightCmds, cid)
-				d.stats.Failed++
+				d.stats.failed.Inc()
 				return n, fmt.Errorf("%w: cid %d op %d lba %d status %#x",
 					ErrCmdFailed, cid, cmd.op, cmd.lba, status)
 			}
 			cmd.attempts++
-			d.stats.Retries++
+			d.stats.retries.Inc()
 			d.backoff(cmd.attempts)
 			d.pushSQE(cmd.op, cmd.lba, cid, cmd.prp)
 			if err := d.ringDoorbell(); err != nil {
@@ -309,6 +341,7 @@ func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 		}
 		delete(d.inflightCmds, cid)
 		d.Completed++
+		d.stats.completed.Inc()
 		n++
 	}
 	return n, nil

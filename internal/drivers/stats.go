@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+
+	"atmosphere/internal/obs"
 )
 
 // Driver fault-handling errors. Every condition that used to panic a
@@ -55,6 +57,64 @@ type DriverStats struct {
 	BadDesc   uint64 // corrupted descriptors dropped
 	Failed    uint64 // commands abandoned after the retry budget
 	Wedged    uint64 // times the driver declared itself wedged
+}
+
+// statSet is the live counter block behind DriverStats. Each field is
+// an obs counter: standalone when no metrics registry is attached
+// (bit-identical behavior to plain uint64 fields), or registered under
+// "driver.<name>.<field>" when one is — in which case a respawned
+// driver resolves the same names and its counts continue the
+// predecessor's totals instead of restarting from zero.
+type statSet struct {
+	submitted *obs.Counter
+	completed *obs.Counter
+	cmdErrors *obs.Counter
+	retries   *obs.Counter
+	backoffs  *obs.Counter
+	timeouts  *obs.Counter
+	dmaFaults *obs.Counter
+	badDesc   *obs.Counter
+	failed    *obs.Counter
+	wedged    *obs.Counter
+}
+
+// newStatSet builds the counter block, registering under name when a
+// registry is supplied.
+func newStatSet(r *obs.Registry, name string) *statSet {
+	c := func(field string) *obs.Counter {
+		if r == nil {
+			return obs.NewCounter()
+		}
+		return r.Counter("driver." + name + "." + field)
+	}
+	return &statSet{
+		submitted: c("submitted"),
+		completed: c("completed"),
+		cmdErrors: c("cmd_errors"),
+		retries:   c("retries"),
+		backoffs:  c("backoffs"),
+		timeouts:  c("timeouts"),
+		dmaFaults: c("dma_faults"),
+		badDesc:   c("bad_desc"),
+		failed:    c("failed"),
+		wedged:    c("wedged"),
+	}
+}
+
+// view snapshots the counters into the stable DriverStats shape.
+func (s *statSet) view() DriverStats {
+	return DriverStats{
+		Submitted: s.submitted.Value(),
+		Completed: s.completed.Value(),
+		CmdErrors: s.cmdErrors.Value(),
+		Retries:   s.retries.Value(),
+		Backoffs:  s.backoffs.Value(),
+		Timeouts:  s.timeouts.Value(),
+		DMAFaults: s.dmaFaults.Value(),
+		BadDesc:   s.badDesc.Value(),
+		Failed:    s.failed.Value(),
+		Wedged:    s.wedged.Value(),
+	}
 }
 
 // Add folds another counter block into this one (used when a restarted

@@ -17,6 +17,7 @@ import (
 	"strings"
 
 	"atmosphere/internal/hw"
+	"atmosphere/internal/obs"
 )
 
 // Kind enumerates the injectable fault kinds.
@@ -144,6 +145,13 @@ type Injector struct {
 	// fault; traceLen counts them.
 	traceHash uint64
 	traceLen  uint64
+
+	// Tracing (observe.go): an instant per injected fault on the
+	// machine-wide faults track. Never consulted for randomness, so
+	// attaching a tracer cannot move the fault trace.
+	tr        *obs.Tracer
+	track     obs.TrackID
+	kindNames [KindCount]obs.NameID
 }
 
 // NewInjector builds an injector for plan, drawing randomness from seed
@@ -209,6 +217,9 @@ func (in *Injector) Should(k Kind) (bool, uint64) {
 	in.mix(uint64(k))
 	in.mix(in.traceLen)
 	in.mix(in.now())
+	if in.tr != nil {
+		in.tr.Instant(in.track, in.kindNames[k], in.now(), r.Param)
+	}
 	return true, r.Param
 }
 

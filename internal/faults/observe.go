@@ -1,0 +1,38 @@
+package faults
+
+import "atmosphere/internal/obs"
+
+// Observability hooks. The injector sits outside any single core, so
+// its events land on the machine-wide track (obs.MachinePID) with
+// timestamps from its own time base (the machine's aggregate cycle
+// counter in every real harness). Neither hook touches the random
+// stream or the trace hash: attaching them cannot move a fault.
+
+// SetTracer attaches a tracer (nil detaches): every injected fault
+// emits one instant named after its kind, arg = the rule's Param.
+func (in *Injector) SetTracer(t *obs.Tracer) {
+	if in == nil {
+		return
+	}
+	in.tr = t
+	if t == nil {
+		return
+	}
+	in.track = t.Track(obs.MachinePID, "machine", "faults")
+	for k := Kind(0); k < KindCount; k++ {
+		in.kindNames[k] = t.Name("fault." + k.String())
+	}
+}
+
+// RegisterMetrics publishes the per-kind opportunity/injection counters
+// as live gauges (nil registry is a no-op).
+func (in *Injector) RegisterMetrics(r *obs.Registry) {
+	if in == nil || r == nil {
+		return
+	}
+	for k := Kind(0); k < KindCount; k++ {
+		k := k
+		r.Gauge("faults."+k.String()+".opportunities", func() uint64 { return in.Opportunities[k] })
+		r.Gauge("faults."+k.String()+".injected", func() uint64 { return in.Injected[k] })
+	}
+}

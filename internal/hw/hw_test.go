@@ -1,6 +1,7 @@
 package hw
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 )
@@ -335,4 +336,26 @@ func TestMachineConfigs(t *testing.T) {
 		}
 	}()
 	NewMachine(Config{Frames: 0, Cores: 1})
+}
+
+// TestClockPerSecondZeroCycles is the dedicated regression test for the
+// zero-cycle division guard: a rate query on a clock that has charged
+// nothing must be exactly 0 — never +Inf (events/0) or NaN (0/0) — for
+// both fresh and Reset clocks.
+func TestClockPerSecondZeroCycles(t *testing.T) {
+	var c Clock
+	for _, events := range []uint64{0, 1, 1 << 40} {
+		r := c.PerSecond(events)
+		if r != 0 {
+			t.Fatalf("PerSecond(%d) on a zero clock = %v, want 0", events, r)
+		}
+		if math.IsInf(r, 0) || math.IsNaN(r) {
+			t.Fatalf("PerSecond(%d) on a zero clock = %v (non-finite)", events, r)
+		}
+	}
+	c.Charge(100)
+	c.Reset()
+	if r := c.PerSecond(7); r != 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+		t.Fatalf("PerSecond after Reset = %v, want 0", r)
+	}
 }

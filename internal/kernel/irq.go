@@ -122,11 +122,14 @@ func (k *Kernel) SysIrqWait(core int, tid pm.Ptr, irq int) Ret {
 func (k *Kernel) RaiseIRQ(core int, irq int) {
 	k.big.Lock()
 	start := k.kclock.Cycles()
+	base := k.Machine.Core(core).Clock.Cycles()
 	defer func() {
+		k.noteIRQ(core, irq, base, k.kclock.Cycles()-start)
 		k.Machine.Core(core).Clock.Charge(k.kclock.Cycles() - start)
 		k.big.Unlock()
 	}()
 	if k.IRQFilter != nil && !k.IRQFilter(core, irq) {
+		k.noteIRQDropped()
 		return // injected lost edge: never reaches the IDT
 	}
 	k.kclock.Charge(hw.CostInterruptDispatch)

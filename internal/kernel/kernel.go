@@ -104,6 +104,11 @@ type Kernel struct {
 	// their threads cannot enter the kernel (iterkill.go).
 	dying map[pm.Ptr]bool
 
+	// obs is the attached observability state (observe.go); nil unless
+	// AttachObs wired a tracer/registry in. It only ever reads clocks,
+	// so attaching it cannot change a charged cycle.
+	obs *kobs
+
 	// Hooks let the verifier observe every transition (nil in
 	// benchmarks; charged nothing).
 	PostSyscall func(name string, caller pm.Ptr, ret Ret)
@@ -166,10 +171,16 @@ func (k *Kernel) enterFast(core int) (leave func()) {
 func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 	k.big.Lock()
 	start := k.kclock.Cycles()
+	if k.obs != nil {
+		k.obs.enter(k, core, start)
+	}
 	k.kclock.Charge(entryCost)
 	return func() {
 		k.kclock.Charge(hw.CostSyscallExit)
 		delta := k.kclock.Cycles() - start
+		if k.obs != nil {
+			k.obs.leave(delta)
+		}
 		k.Machine.Core(core).Clock.Charge(delta)
 		k.big.Unlock()
 	}
@@ -192,6 +203,9 @@ func (k *Kernel) callerThread(tid pm.Ptr) (*pm.Thread, bool) {
 }
 
 func (k *Kernel) post(name string, caller pm.Ptr, ret Ret) Ret {
+	if k.obs != nil {
+		k.obs.post(name, ret.Errno)
+	}
 	if k.PostSyscall != nil {
 		k.PostSyscall(name, caller, ret)
 	}
@@ -223,6 +237,7 @@ func (k *Kernel) SysYield(core int, tid pm.Ptr) Ret {
 		return k.post("yield", tid, fail(EINVAL))
 	}
 	k.kclock.Charge(hw.CostContextSwitch)
+	k.noteSwitch(false, tid)
 	k.PM.PickNext(core)
 	return k.post("yield", tid, ok())
 }

@@ -74,14 +74,25 @@ type Supervisor struct {
 }
 
 // NewSupervisor builds a supervisor with the given watchdog timeout.
+// When the kernel has a metrics registry attached, the supervisor's
+// counters are published as live gauges under "supervisor.*".
 func NewSupervisor(k *Kernel, tid pm.Ptr, timeout uint64) *Supervisor {
-	return &Supervisor{
+	s := &Supervisor{
 		K: k, Tid: tid,
 		HeartbeatTimeout: timeout,
 		KillBudget:       8,
 		MaxKillRounds:    100_000,
 		watches:          make(map[string]*watch),
 	}
+	if m := k.Metrics(); m != nil {
+		m.Gauge("supervisor.heartbeats", func() uint64 { return s.Stats.Heartbeats })
+		m.Gauge("supervisor.checks", func() uint64 { return s.Stats.Checks })
+		m.Gauge("supervisor.timeouts", func() uint64 { return s.Stats.Timeouts })
+		m.Gauge("supervisor.kill_rounds", func() uint64 { return s.Stats.KillRounds })
+		m.Gauge("supervisor.restarts", func() uint64 { return s.Stats.Restarts })
+		m.Gauge("supervisor.failures", func() uint64 { return s.Stats.Failures })
+	}
+	return s
 }
 
 // Register begins supervising a driver container. respawn must rebuild
@@ -131,6 +142,7 @@ func (s *Supervisor) Check(core int) ([]SupervisorEvent, error) {
 			continue
 		}
 		s.Stats.Timeouts++
+		s.obsInstant(core, "supervisor.timeout", now-w.lastBeat)
 		if err := s.recover(core, name, w); err != nil {
 			return events, err
 		}
@@ -163,7 +175,13 @@ func (s *Supervisor) recover(core int, name string, w *watch) error {
 		}
 		// Yield-equivalent pause between invocations: other work runs
 		// while the teardown is in progress.
-		s.K.Machine.Core(core).Clock.Charge(hw.CostContextSwitch)
+		clk := s.K.Machine.Core(core).Clock
+		base := clk.Cycles()
+		clk.Charge(hw.CostContextSwitch)
+		if t := s.K.Tracer(); t != nil {
+			tr := t.Track(core, CoreName(core), "supervisor")
+			t.Span(tr, t.Name("supervisor.pause"), base, clk.Cycles())
+		}
 	}
 	cntr, err := w.respawn()
 	if err != nil {
@@ -174,5 +192,17 @@ func (s *Supervisor) recover(core int, name string, w *watch) error {
 	w.restarts++
 	w.lastBeat = s.K.Machine.TotalCycles()
 	s.Stats.Restarts++
+	s.obsInstant(core, "supervisor.restart", w.restarts)
 	return nil
+}
+
+// obsInstant emits a supervisor marker on core's supervisor track (the
+// core's own timeline, like every other per-core track).
+func (s *Supervisor) obsInstant(core int, name string, arg uint64) {
+	t := s.K.Tracer()
+	if t == nil {
+		return
+	}
+	tr := t.Track(core, CoreName(core), "supervisor")
+	t.Instant(tr, t.Name(name), s.K.Machine.Core(core).Clock.Cycles(), arg)
 }

@@ -305,6 +305,7 @@ func (k *Kernel) SysCall(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 	ep.Queue = append(ep.Queue, tid)
 	// Direct handoff to the server if it shares the caller's core.
 	if st.Core == core {
+		k.noteSwitch(true, server)
 		k.PM.DirectSwitch(server)
 	}
 	return k.post("call", tid, fail(EWOULDBLOCK))
@@ -337,6 +338,7 @@ func (k *Kernel) SysReply(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 	ct.IPC.WaitingOn = 0
 	k.PM.Wake(client, err)
 	if ct.Core == core {
+		k.noteSwitch(true, client)
 		k.PM.DirectSwitch(client)
 	}
 	return k.post("reply", tid, ok())
@@ -371,6 +373,7 @@ func (k *Kernel) SysReplyRecv(core int, tid pm.Ptr, slot int, args SendArgs, rec
 		k.PM.Wake(client, err)
 		defer func() {
 			if ct.Core == core && ct.State == pm.ThreadRunnable {
+				k.noteSwitch(true, client)
 				k.PM.DirectSwitch(client)
 			}
 		}()

@@ -57,9 +57,9 @@ var (
 // Completion status codes the device posts (status field, before the
 // phase-bit shift).
 const (
-	StatusOK       = 0x0000
-	StatusBadLBA   = 0x0281
-	StatusBadOp    = 0x0001
+	StatusOK     = 0x0000
+	StatusBadLBA = 0x0281
+	StatusBadOp  = 0x0001
 	// StatusInternal is the generic internal device error an injected
 	// command fault completes with (recoverable by retry).
 	StatusInternal = 0x0286

@@ -1,0 +1,226 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// The metrics registry: named monotonic counters, fixed-bucket cycle
+// histograms, and gauges (live views over external state). One registry
+// serves a whole run; the kernel, drivers, supervisor, fault injector,
+// and verifier all register into it, subsuming the ad-hoc per-subsystem
+// counter blocks behind one interface. Like the tracer, everything is
+// nil-safe and charges no cycles.
+
+// Counter is a monotonic counter. Increments on a nil counter are
+// no-ops, so call sites need no registry checks.
+type Counter struct {
+	v uint64
+}
+
+// NewCounter builds a standalone counter (not registered anywhere) —
+// what subsystems use when no registry is attached, so their legacy
+// counter views keep working unchanged.
+func NewCounter() *Counter { return &Counter{} }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v++
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v += n
+	}
+}
+
+// Value returns the count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// Histogram is a fixed-bucket histogram of uint64 samples (cycle
+// latencies). Bounds are ascending inclusive upper bounds; one overflow
+// bucket is implicit.
+type Histogram struct {
+	bounds []uint64
+	counts []uint64
+	sum    uint64
+	n      uint64
+}
+
+// CycleBuckets is the default latency bucketing, spanning the cost
+// model's range from a cache touch to a driver poll budget.
+var CycleBuckets = []uint64{250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 64_000, 256_000, 1_000_000}
+
+// NewHistogram builds a standalone histogram over the given bounds
+// (CycleBuckets when nil).
+func NewHistogram(bounds []uint64) *Histogram {
+	if bounds == nil {
+		bounds = CycleBuckets
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample. No-op on nil.
+func (h *Histogram) Observe(v uint64) {
+	if h == nil {
+		return
+	}
+	h.sum += v
+	h.n++
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.n
+}
+
+// Sum returns the sample total.
+func (h *Histogram) Sum() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the sample mean (0 with no samples — the same
+// divide-by-zero guard hw.Clock.PerSecond has).
+func (h *Histogram) Mean() float64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.n)
+}
+
+// Registry is the named-metric table. The simulation is single-threaded
+// per run (syscalls serialize on the kernel big lock), so the registry
+// is unsynchronized like the rest of the substrate.
+type Registry struct {
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+	gauges   map[string]func() uint64
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+		gauges:   make(map[string]func() uint64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Two
+// callers asking for the same name share one counter (how restarted
+// driver generations accumulate). On a nil registry it returns nil,
+// which is a valid no-op counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = NewCounter()
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bounds (CycleBuckets when nil) on first use.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Gauge registers a live view: fn is read at dump time. Re-registering
+// a name replaces the view (a respawned subsystem points the gauge at
+// its new state).
+func (r *Registry) Gauge(name string, fn func() uint64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.gauges[name] = fn
+}
+
+// WriteText renders the plain-text metrics dump, sorted by name within
+// each section, so equal runs dump byte-identically:
+//
+//	counter driver.nvme.retries 12
+//	gauge supervisor.restarts 1
+//	hist syscall.call.cycles count=1000 sum=529000 mean=529.0 le500=1000 +inf=0
+//
+// Histogram buckets with zero samples are omitted except the overflow
+// bucket, which always prints.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	names := make([]string, 0, len(r.counters))
+	for n := range r.counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", n, r.counters[n].Value()); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range r.gauges {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "gauge %s %d\n", n, r.gauges[n]()); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range r.hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := r.hists[n]
+		if _, err := fmt.Fprintf(w, "hist %s count=%d sum=%d mean=%.1f", n, h.Count(), h.Sum(), h.Mean()); err != nil {
+			return err
+		}
+		for i, b := range h.bounds {
+			if h.counts[i] != 0 {
+				if _, err := fmt.Fprintf(w, " le%d=%d", b, h.counts[i]); err != nil {
+					return err
+				}
+			}
+		}
+		if _, err := fmt.Fprintf(w, " +inf=%d\n", h.counts[len(h.bounds)]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

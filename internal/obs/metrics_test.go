@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	c := NewCounter()
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d, want 5", c.Value())
+	}
+	var nilC *Counter
+	nilC.Inc()
+	nilC.Add(3)
+	if nilC.Value() != 0 {
+		t.Error("nil counter counted")
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100})
+	for _, v := range []uint64{5, 10, 11, 100, 5000} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 || h.Sum() != 5126 {
+		t.Errorf("count=%d sum=%d, want 5/5126", h.Count(), h.Sum())
+	}
+	// Bounds are inclusive: 10 -> le10, 100 -> le100, 5000 -> overflow.
+	if h.counts[0] != 2 || h.counts[1] != 2 || h.counts[2] != 1 {
+		t.Errorf("bucket counts = %v, want [2 2 1]", h.counts)
+	}
+	if got := h.Mean(); got != 5126.0/5 {
+		t.Errorf("Mean = %v", got)
+	}
+	if NewHistogram(nil).Mean() != 0 {
+		t.Error("empty histogram mean not zero-guarded")
+	}
+	var nilH *Histogram
+	nilH.Observe(3)
+	if nilH.Count() != 0 || nilH.Sum() != 0 || nilH.Mean() != 0 {
+		t.Error("nil histogram recorded")
+	}
+}
+
+func TestRegistrySharesCountersByName(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("driver.nvme.retries")
+	a.Add(3)
+	// A respawned driver generation resolves the same name and keeps
+	// accumulating into the same counter.
+	b := r.Counter("driver.nvme.retries")
+	b.Inc()
+	if a != b || a.Value() != 4 {
+		t.Errorf("counters not shared: a=%p b=%p value=%d", a, b, a.Value())
+	}
+
+	var nilR *Registry
+	if nilR.Counter("x") != nil || nilR.Histogram("x", nil) != nil {
+		t.Error("nil registry handed out live metrics")
+	}
+	nilR.Gauge("x", func() uint64 { return 1 })
+	if err := nilR.WriteText(&strings.Builder{}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGaugeReplaceOnReregister(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("supervisor.restarts", func() uint64 { return 1 })
+	r.Gauge("supervisor.restarts", func() uint64 { return 2 })
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := b.String(), "gauge supervisor.restarts 2\n"; got != want {
+		t.Errorf("dump = %q, want %q", got, want)
+	}
+}
+
+func TestWriteTextDeterministicDump(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Inc()
+	r.Gauge("g", func() uint64 { return 9 })
+	h := r.Histogram("lat", []uint64{10, 100})
+	h.Observe(5)
+	h.Observe(50)
+	h.Observe(500)
+
+	want := "counter a.count 1\n" +
+		"counter b.count 2\n" +
+		"gauge g 9\n" +
+		"hist lat count=3 sum=555 mean=185.0 le10=1 le100=1 +inf=1\n"
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != want {
+		t.Errorf("dump:\n%s\nwant:\n%s", b.String(), want)
+	}
+}

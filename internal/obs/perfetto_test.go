@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenTracer builds the small fixed trace behind testdata/golden.json:
+// two domains on core 0 plus the machine-wide fault track.
+func goldenTracer() *Tracer {
+	tr := NewTracer(16)
+	kernelTrack := tr.Track(0, "core0", "kernel")
+	driverTrack := tr.Track(0, "core0", "nvme-driver")
+	faultTrack := tr.Track(MachinePID, "machine", "faults")
+	tr.SpanArg(kernelTrack, tr.Name("mmap"), 2200, 4400, 0)
+	tr.Span(driverTrack, tr.Name("nvme.submit_batch"), 4400, 11000)
+	tr.Instant(faultTrack, tr.Name("fault.nvme-stall"), 6600, 150000)
+	tr.SpanArg(kernelTrack, tr.Name("call"), 11000, 13200, 7)
+	return tr
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTrace(&b, goldenTracer()); err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate by writing the buffer): %v", err)
+	}
+	if !bytes.Equal(b.Bytes(), golden) {
+		t.Errorf("trace output diverged from testdata/golden.json:\n%s", b.String())
+	}
+}
+
+// traceEvent mirrors the trace_event fields the viewer requires.
+type traceEvent struct {
+	Name string          `json:"name"`
+	Ph   string          `json:"ph"`
+	PID  *int            `json:"pid"`
+	TID  *int            `json:"tid"`
+	TS   *float64        `json:"ts"`
+	Dur  *float64        `json:"dur"`
+	S    string          `json:"s"`
+	Args json.RawMessage `json:"args"`
+}
+
+func TestWriteTraceIsValidTraceEventJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := WriteTrace(&b, goldenTracer()); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ns" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	spans, instants, metas := 0, 0, 0
+	for i, e := range doc.TraceEvents {
+		if e.Name == "" || e.PID == nil || e.TID == nil {
+			t.Fatalf("event %d missing required fields: %+v", i, e)
+		}
+		switch e.Ph {
+		case "M":
+			metas++
+			if e.Args == nil {
+				t.Errorf("metadata event %d has no args", i)
+			}
+		case "X":
+			spans++
+			if e.TS == nil || e.Dur == nil {
+				t.Errorf("span %d missing ts/dur", i)
+			}
+		case "i":
+			instants++
+			if e.TS == nil || e.S != "t" {
+				t.Errorf("instant %d missing ts or scope: %+v", i, e)
+			}
+		default:
+			t.Errorf("event %d has unknown ph %q", i, e.Ph)
+		}
+	}
+	// 3 tracks over 2 distinct pids: 2 process_name + 3 thread_name.
+	if metas != 5 || spans != 3 || instants != 1 {
+		t.Errorf("meta/span/instant = %d/%d/%d, want 5/3/1", metas, spans, instants)
+	}
+	// Spot-check the µs conversion: 2200 cycles at 2.2 GHz is 1 µs.
+	if ts := doc.TraceEvents[5].TS; ts == nil || *ts != 1.0 {
+		t.Errorf("first span ts = %v µs, want 1.0", ts)
+	}
+}

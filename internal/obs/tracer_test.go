@@ -1,0 +1,127 @@
+package obs
+
+import "testing"
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer(16)
+	track := tr.Track(0, "core0", "kernel")
+	outer := tr.Name("outer")
+	inner := tr.Name("inner")
+
+	// Complete-span model: the inner span closes (and records) first,
+	// but nesting in the export comes from ts/dur containment, not
+	// record order.
+	o := tr.Begin(track, outer, 100)
+	i := tr.Begin(track, inner, 200)
+	i.End(300)
+	o.EndArg(500, 7)
+
+	ev := tr.Events()
+	if len(ev) != 2 {
+		t.Fatalf("got %d events, want 2", len(ev))
+	}
+	if ev[0].Name != inner || ev[0].TS != 200 || ev[0].Dur != 100 {
+		t.Errorf("inner span = %+v, want ts=200 dur=100", ev[0])
+	}
+	if ev[1].Name != outer || ev[1].TS != 100 || ev[1].Dur != 400 || ev[1].Arg != 7 {
+		t.Errorf("outer span = %+v, want ts=100 dur=400 arg=7", ev[1])
+	}
+	if ev[0].TS < ev[1].TS || ev[0].TS+ev[0].Dur > ev[1].TS+ev[1].Dur {
+		t.Errorf("inner span %+v not contained in outer %+v", ev[0], ev[1])
+	}
+	if got := tr.SpanTotal(); got != 500 {
+		t.Errorf("SpanTotal = %d, want 500", got)
+	}
+}
+
+func TestEmptySpansSkipped(t *testing.T) {
+	tr := NewTracer(16)
+	track := tr.Track(0, "core0", "kernel")
+	n := tr.Name("noop")
+	tr.Span(track, n, 100, 100) // zero cycles
+	tr.Span(track, n, 100, 90)  // clock went nowhere sensible
+	if tr.Len() != 0 {
+		t.Errorf("empty spans recorded: Len = %d, want 0", tr.Len())
+	}
+}
+
+func TestRingWraparoundDropsOldest(t *testing.T) {
+	tr := NewTracer(4)
+	track := tr.Track(0, "core0", "kernel")
+	n := tr.Name("tick")
+	for ts := uint64(1); ts <= 6; ts++ {
+		tr.Instant(track, n, ts, 0)
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", tr.Len())
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	ev := tr.Events()
+	for i, want := range []uint64{3, 4, 5, 6} {
+		if ev[i].TS != want {
+			t.Errorf("event %d ts = %d, want %d (oldest must go first)", i, ev[i].TS, want)
+		}
+	}
+}
+
+func TestHashDeterminism(t *testing.T) {
+	build := func(extra bool) *Tracer {
+		tr := NewTracer(8)
+		track := tr.Track(0, "core0", "kernel")
+		n := tr.Name("op")
+		tr.Span(track, n, 10, 20)
+		tr.Instant(track, n, 15, 3)
+		if extra {
+			tr.Instant(track, n, 16, 3)
+		}
+		return tr
+	}
+	a, b := build(false), build(false)
+	if a.Hash() != b.Hash() {
+		t.Errorf("identical traces hash differently: %x vs %x", a.Hash(), b.Hash())
+	}
+	if c := build(true); c.Hash() == a.Hash() {
+		t.Errorf("diverging traces share hash %x", a.Hash())
+	}
+}
+
+func TestTrackAndNameInterning(t *testing.T) {
+	tr := NewTracer(8)
+	a := tr.Track(0, "core0", "kernel")
+	b := tr.Track(0, "core0", "kernel")
+	if a != b {
+		t.Errorf("re-registering a track returned a new ID: %d vs %d", a, b)
+	}
+	c := tr.Track(0, "core0", "irq")
+	if c == a {
+		t.Error("distinct tidName reused the track ID")
+	}
+	tks := tr.Tracks()
+	if tks[a].TID == tks[c].TID {
+		t.Error("tracks of one pid share a tid")
+	}
+	if n1, n2 := tr.Name("x"), tr.Name("x"); n1 != n2 {
+		t.Errorf("name interning broken: %d vs %d", n1, n2)
+	}
+	if got := tr.NameOf(tr.Name("x")); got != "x" {
+		t.Errorf("NameOf = %q, want x", got)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	track := tr.Track(0, "core0", "kernel")
+	n := tr.Name("x")
+	tr.Span(track, n, 0, 10)
+	tr.SpanArg(track, n, 0, 10, 1)
+	tr.Instant(track, n, 5, 0)
+	tr.Begin(track, n, 0).End(10)
+	if tr.Len() != 0 || tr.Dropped() != 0 || tr.SpanTotal() != 0 || tr.Hash() != 0 {
+		t.Error("nil tracer reported nonzero state")
+	}
+	if tr.Events() != nil || tr.Tracks() != nil {
+		t.Error("nil tracer returned non-nil slices")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 )
 
@@ -30,12 +31,23 @@ type StepWatcher struct {
 
 // Watch installs a step watcher on the kernel, chaining any existing
 // PostSyscall hook. every selects the checking stride (0 and 1 both
-// mean every transition).
+// mean every transition). When the kernel carries a metrics registry,
+// the watcher's counters are published as "verify.*" gauges and the
+// cycle gap between checked transitions as a histogram.
 func Watch(k *kernel.Kernel, every uint64) *StepWatcher {
 	if every == 0 {
 		every = 1
 	}
 	w := &StepWatcher{K: k, Every: every, prev: k.PostSyscall}
+	var gap *obs.Histogram
+	var lastChecked uint64
+	if m := k.Metrics(); m != nil {
+		m.Gauge("verify.steps", func() uint64 { return w.Steps })
+		m.Gauge("verify.checked", func() uint64 { return w.Checked })
+		m.Gauge("verify.violations", func() uint64 { return uint64(len(w.Violations)) })
+		gap = m.Histogram("verify.step.cycles", nil)
+		lastChecked = k.Machine.TotalCycles()
+	}
 	k.PostSyscall = func(name string, caller pm.Ptr, ret kernel.Ret) {
 		if w.prev != nil {
 			w.prev(name, caller, ret)
@@ -45,6 +57,11 @@ func Watch(k *kernel.Kernel, every uint64) *StepWatcher {
 			return
 		}
 		w.Checked++
+		if gap != nil {
+			now := k.Machine.TotalCycles()
+			gap.Observe(now - lastChecked)
+			lastChecked = now
+		}
 		if err := TotalWF(k); err != nil {
 			w.Violations = append(w.Violations,
 				fmt.Errorf("step %d after %s: %w", w.Steps, name, err))
