@@ -1,6 +1,7 @@
 #!/bin/sh
-# Repository gate: vet, build, and the full test suite under the race
-# detector. Run from the repo root; any failure fails the script.
+# Repository gate: vet, build, the full test suite, a race-detector
+# shard over the concurrency-bearing packages, and CLI smoke runs.
+# Run from the repo root; any failure fails the script.
 set -eu
 
 cd "$(dirname "$0")"
@@ -19,15 +20,39 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race ./..."
-go test -race ./...
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (kernel/obs/drivers shard)"
+go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/...
 
 echo "== atmo-trace smoke"
-trace_out=$(mktemp /tmp/atmo-trace-smoke.XXXXXX.json)
-trap 'rm -f "$trace_out"' EXIT
-go run ./cmd/atmo-trace -workload kvstore -seed 1 -ops 50 -o "$trace_out"
-if [ ! -s "$trace_out" ]; then
+smoke_dir=$(mktemp -d /tmp/atmo-ci-smoke.XXXXXX)
+trap 'rm -rf "$smoke_dir"' EXIT
+go run ./cmd/atmo-trace -workload kvstore -seed 1 -ops 50 \
+    -o "$smoke_dir/trace.json" -profile "$smoke_dir/trace"
+if [ ! -s "$smoke_dir/trace.json" ]; then
     echo "atmo-trace: smoke run produced an empty trace" >&2
+    exit 1
+fi
+if [ ! -s "$smoke_dir/trace.folded" ] || [ ! -s "$smoke_dir/trace.pb.gz" ]; then
+    echo "atmo-trace: smoke run produced no profile exports" >&2
+    exit 1
+fi
+
+echo "== atmo-top smoke"
+go run ./cmd/atmo-top -workload chaos -seed 7 -ops 200 > "$smoke_dir/top.txt"
+if ! grep -q "^nvme.gen0" "$smoke_dir/top.txt"; then
+    echo "atmo-top: smoke run shows no driver container row" >&2
+    cat "$smoke_dir/top.txt" >&2
+    exit 1
+fi
+
+echo "== atmo-bench -json -check smoke"
+go run ./cmd/atmo-bench -experiment table3 -json -outdir "$smoke_dir" \
+    -check bench_all_reference.txt
+if [ ! -s "$smoke_dir/BENCH_table3.json" ]; then
+    echo "atmo-bench: smoke run produced no BENCH_table3.json" >&2
     exit 1
 fi
 

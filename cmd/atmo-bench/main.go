@@ -7,6 +7,8 @@
 //	atmo-bench                  # run everything
 //	atmo-bench -experiment fig4 # one experiment
 //	atmo-bench -list            # list experiment ids
+//	atmo-bench -json -outdir .  # also write BENCH_<id>.json per experiment
+//	atmo-bench -check bench_all_reference.txt  # exit nonzero on >10% regression
 package main
 
 import (
@@ -14,10 +16,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"atmosphere/internal/bench"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/profile"
 )
 
 func main() {
@@ -25,6 +30,11 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids")
 	traceOut := flag.String("trace", "", "write a Perfetto trace of the instrumented experiments to this path")
 	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump to this path")
+	profileOut := flag.String("profile", "", "write <prefix>.folded and <prefix>.pb.gz cycle profiles of the instrumented experiments")
+	jsonOut := flag.Bool("json", false, "write BENCH_<id>.json per experiment (machine-readable trajectory)")
+	outdir := flag.String("outdir", ".", "directory for BENCH_<id>.json files")
+	check := flag.String("check", "", "reference dump to compare against (exit 1 on >10% regression)")
+	tolerance := flag.Float64("tolerance", 10, "regression tolerance for -check, in percent")
 	flag.Parse()
 
 	if *list {
@@ -36,11 +46,14 @@ func main() {
 
 	var tracer *obs.Tracer
 	var registry *obs.Registry
-	if *traceOut != "" {
+	if *traceOut != "" || *profileOut != "" || *jsonOut {
 		tracer = obs.NewTracer(0)
 	}
 	if *metricsOut != "" {
 		registry = obs.NewRegistry()
+		// The accounting gauges ride the metrics dump: the ledger rebinds
+		// per experiment boot, so the dump reflects the last kernel.
+		bench.SetLedger(account.NewLedger())
 	}
 	bench.SetObs(tracer, registry)
 
@@ -57,16 +70,33 @@ func main() {
 			run = append(run, e)
 		}
 	}
+	var results []bench.Result
 	for _, e := range run {
 		res, err := e.Run()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
 			os.Exit(1)
 		}
+		results = append(results, res)
 		fmt.Println(res)
+		if *jsonOut {
+			var hash uint64
+			if tracer != nil {
+				hash = tracer.Hash()
+			}
+			path := filepath.Join(*outdir, "BENCH_"+res.ID+".json")
+			err := writeFile(path, func(w io.Writer) error {
+				return bench.WriteResultJSON(w, res, hash)
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
 	}
 
-	if tracer != nil {
+	if tracer != nil && *traceOut != "" {
 		if err := writeFile(*traceOut, func(w io.Writer) error { return obs.WriteTrace(w, tracer) }); err != nil {
 			fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
 			os.Exit(1)
@@ -79,6 +109,38 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("wrote metrics to %s\n", *metricsOut)
+	}
+	if *profileOut != "" {
+		p, err := profile.WriteFiles(*profileOut, tracer)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(p.Describe(*profileOut))
+	}
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		ref, err := bench.ParseReference(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "atmo-bench: %v\n", err)
+			os.Exit(1)
+		}
+		regressions := bench.CompareToReference(results, ref, *tolerance)
+		if len(regressions) > 0 {
+			fmt.Fprintf(os.Stderr, "atmo-bench: %d regression(s) beyond %.0f%% vs %s:\n",
+				len(regressions), *tolerance, *check)
+			for _, r := range regressions {
+				fmt.Fprintf(os.Stderr, "  %s\n", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("no regressions beyond %.0f%% vs %s\n", *tolerance, *check)
 	}
 }
 

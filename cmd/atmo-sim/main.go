@@ -21,6 +21,7 @@ import (
 	"atmosphere/internal/nic"
 	"atmosphere/internal/nvme"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/profile"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 	"atmosphere/internal/verify"
@@ -31,11 +32,12 @@ func main() {
 	cores := flag.Int("cores", 4, "simulated cores")
 	traceOut := flag.String("trace", "", "write a Perfetto trace of the demo workload to this path")
 	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump to this path")
+	profileOut := flag.String("profile", "", "write <prefix>.folded and <prefix>.pb.gz cycle profiles of the demo workload")
 	flag.Parse()
 
 	var tracer *obs.Tracer
 	var registry *obs.Registry
-	if *traceOut != "" {
+	if *traceOut != "" || *profileOut != "" {
 		tracer = obs.NewTracer(0)
 	}
 	if *metricsOut != "" {
@@ -48,7 +50,7 @@ func main() {
 	}
 	k := c.K
 	k.AttachObs(tracer, registry)
-	defer writeObs(tracer, registry, *traceOut, *metricsOut)
+	defer writeObs(tracer, registry, *traceOut, *metricsOut, *profileOut)
 	say := func(format string, args ...any) { fmt.Printf(format+"\n", args...) }
 	must := func(r kernel.Ret, err error) kernel.Ret {
 		if err != nil {
@@ -171,9 +173,9 @@ func driverDemo(say func(string, ...any)) {
 		nenv.Drv.Stats(), ninj.Injected[faults.NicDescCorrupt])
 }
 
-// writeObs exports the demo kernel's trace/metrics to the flag-named
-// files (nil sink or empty path skips that export).
-func writeObs(t *obs.Tracer, m *obs.Registry, tracePath, metricsPath string) {
+// writeObs exports the demo kernel's trace/metrics/profile to the
+// flag-named files (nil sink or empty path skips that export).
+func writeObs(t *obs.Tracer, m *obs.Registry, tracePath, metricsPath, profilePath string) {
 	if t != nil && tracePath != "" {
 		f, err := os.Create(tracePath)
 		if err != nil {
@@ -199,6 +201,13 @@ func writeObs(t *obs.Tracer, m *obs.Registry, tracePath, metricsPath string) {
 			fail(err)
 		}
 		fmt.Printf("wrote metrics to %s\n", metricsPath)
+	}
+	if t != nil && profilePath != "" {
+		p, err := profile.WriteFiles(profilePath, t)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(p.Describe(profilePath))
 	}
 }
 

@@ -1,0 +1,168 @@
+// Command atmo-top runs a workload on the simulated kernel with the
+// accounting ledger attached and prints a top(1)-style view: one row
+// per container with its live object/user pages and the cycles billed
+// to it, plus allocator-level totals (live pages, watermark,
+// fragmentation) and the closure-audit tally. With -diff it runs the
+// same seed twice — to the midpoint and to the end — and shows what
+// each container gained or lost over the second half; determinism
+// makes the midpoint an exact prefix of the full run.
+//
+// Usage:
+//
+//	atmo-top -workload chaos -seed 7 -ops 400
+//	atmo-top -workload kvstore -ops 300 -diff
+//	atmo-top -workload ipc -ops 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"atmosphere/internal/drivers"
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/profile"
+	"atmosphere/internal/pm"
+)
+
+func main() {
+	workload := flag.String("workload", "kvstore", "workload: kvstore, chaos, ipc")
+	seed := flag.Uint64("seed", 1, "workload seed")
+	ops := flag.Int("ops", 300, "operations (kv ops or ipc round trips)")
+	diff := flag.Bool("diff", false, "show the per-container delta between ops/2 and ops")
+	profileOut := flag.String("profile", "", "also write <prefix>.folded and <prefix>.pb.gz cycle profiles")
+	flag.Parse()
+
+	full, tr, err := run(*workload, *seed, *ops)
+	if err != nil {
+		fail(err)
+	}
+	if *diff {
+		half, _, err := run(*workload, *seed, *ops/2)
+		if err != nil {
+			fail(err)
+		}
+		printDiff(half, full, *ops)
+	} else {
+		printSnapshot(full, *ops)
+	}
+	if *profileOut != "" {
+		p, err := profile.WriteFiles(*profileOut, tr)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(p.Describe(*profileOut))
+	}
+}
+
+// run executes the workload with a fresh ledger + tracer attached and
+// returns both after a final closure audit.
+func run(workload string, seed uint64, ops int) (*account.Ledger, *obs.Tracer, error) {
+	l := account.NewLedger()
+	tr := obs.NewTracer(0)
+	var err error
+	switch workload {
+	case "kvstore":
+		_, err = drivers.RunChaosKV(drivers.ChaosConfig{
+			Seed: seed, Ops: ops, Trace: tr, Ledger: l,
+		})
+	case "chaos":
+		_, err = drivers.RunChaosKV(drivers.ChaosConfig{
+			Seed: seed, Ops: ops, Plan: drivers.DefaultChaosPlan(), Trace: tr, Ledger: l,
+		})
+	case "ipc":
+		err = runIPC(l, tr, ops)
+	default:
+		return nil, nil, fmt.Errorf("unknown workload %q (kvstore, chaos, ipc)", workload)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := l.Audit(); err != nil {
+		return nil, nil, fmt.Errorf("closure audit failed: %w", err)
+	}
+	return l, tr, nil
+}
+
+// runIPC is the Table 3 call/reply ping-pong with accounting attached.
+func runIPC(l *account.Ledger, tr *obs.Tracer, rounds int) error {
+	k, init, err := kernel.Boot(hw.Config{Frames: 1024, Cores: 2, TLBSlots: 64})
+	if err != nil {
+		return err
+	}
+	k.AttachObs(tr, nil)
+	k.AttachLedger(l)
+	r := k.SysNewThread(0, init, 0)
+	if r.Errno != kernel.OK {
+		return fmt.Errorf("new_thread: %v", r.Errno)
+	}
+	server := pm.Ptr(r.Vals[0])
+	re := k.SysNewEndpoint(0, init, 0)
+	if re.Errno != kernel.OK {
+		return fmt.Errorf("endpoint: %v", re.Errno)
+	}
+	k.PM.Thrd(server).Endpoints[0] = pm.Ptr(re.Vals[0])
+	k.PM.EndpointIncRef(pm.Ptr(re.Vals[0]), 1)
+	if r := k.SysRecv(0, server, 0, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
+		return fmt.Errorf("park: %v", r.Errno)
+	}
+	for i := 0; i < rounds; i++ {
+		if r := k.SysCall(0, init, 0, kernel.SendArgs{Regs: [4]uint64{uint64(i)}}); r.Errno != kernel.EWOULDBLOCK {
+			return fmt.Errorf("call: %v", r.Errno)
+		}
+		if r := k.SysReplyRecv(0, server, 0, kernel.SendArgs{}, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
+			return fmt.Errorf("reply_recv: %v", r.Errno)
+		}
+	}
+	return nil
+}
+
+func printSnapshot(l *account.Ledger, ops int) {
+	rows := l.Rows()
+	var totalCycles uint64
+	for _, r := range rows {
+		totalCycles += r.Cycles
+	}
+	fmt.Printf("%-16s %8s %8s %8s %14s %6s\n", "CONTAINER", "OBJ", "USER", "PAGES", "CYCLES", "CYC%")
+	for _, r := range rows {
+		pct := 0.0
+		if totalCycles > 0 {
+			pct = 100 * float64(r.Cycles) / float64(totalCycles)
+		}
+		fmt.Printf("%-16s %8d %8d %8d %14d %5.1f%%\n",
+			r.Name, r.ObjPages, r.UserPages, r.Pages(), r.Cycles, pct)
+	}
+	audits, fails := l.AuditStats()
+	fmt.Printf("\n%d ops: %d pages live (watermark %d), fragmentation %d%%\n",
+		ops, l.LivePages(), l.Watermark(), l.FragPercent())
+	fmt.Printf("audits %d (failed %d), attribution anomalies %d\n",
+		audits, fails, l.Anomalies())
+}
+
+func printDiff(half, full *account.Ledger, ops int) {
+	halfRows := make(map[string]account.ContainerRow)
+	for _, r := range half.Rows() {
+		halfRows[r.Name] = r
+	}
+	fmt.Printf("delta over ops %d..%d:\n", ops/2, ops)
+	fmt.Printf("%-16s %10s %14s\n", "CONTAINER", "ΔPAGES", "ΔCYCLES")
+	for _, r := range full.Rows() {
+		h := halfRows[r.Name]
+		dp := int64(r.Pages()) - int64(h.Pages())
+		dc := int64(r.Cycles) - int64(h.Cycles)
+		if dp == 0 && dc == 0 {
+			continue
+		}
+		fmt.Printf("%-16s %+10d %+14d\n", r.Name, dp, dc)
+	}
+	fmt.Printf("\nlive pages %d -> %d (watermark %d -> %d)\n",
+		half.LivePages(), full.LivePages(), half.Watermark(), full.Watermark())
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "atmo-top:", err)
+	os.Exit(1)
+}

@@ -21,6 +21,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/profile"
 	"atmosphere/internal/pm"
 )
 
@@ -30,6 +31,7 @@ func main() {
 	ops := flag.Int("ops", 200, "operations (kv ops or ipc round trips)")
 	out := flag.String("o", "trace.json", "Perfetto trace output path")
 	metricsOut := flag.String("metrics", "", "metrics dump output path (empty = skip)")
+	profileOut := flag.String("profile", "", "write <prefix>.folded and <prefix>.pb.gz cycle profiles (empty = skip)")
 	events := flag.Int("events", obs.DefaultEventCapacity, "tracer ring capacity (events)")
 	flag.Parse()
 
@@ -75,6 +77,14 @@ func main() {
 		if err := mf.Close(); err != nil {
 			fail(err)
 		}
+	}
+
+	if *profileOut != "" {
+		p, err := profile.WriteFiles(*profileOut, tracer)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(p.Describe(*profileOut))
 	}
 
 	coverage := 0.0

@@ -1,0 +1,151 @@
+package bench
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+const refFixture = `=== table3: Latency of communication and typical system calls (cycles) ===
+case                         measured           paper  unit
+call/reply atmosphere            1000            1058  cycles
+map a page atmosphere            2000            1984  cycles
+note: measured on the simulated c220g5 cycle model
+
+=== fig4: ixgbe forwarding ===
+case              measured           paper  unit
+64B linked           20.00           24.50  Mpps
+host seconds          1.23               -  s
+
+=== table2: Verification time ===
+case              measured           paper  unit
+proof lines           3668           20098  LoC
+`
+
+func fixtureRef(t *testing.T) Reference {
+	t.Helper()
+	ref, err := ParseReference(strings.NewReader(refFixture))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ref
+}
+
+func TestParseReference(t *testing.T) {
+	ref := fixtureRef(t)
+	if len(ref) != 3 {
+		t.Fatalf("parsed %d experiments, want 3", len(ref))
+	}
+	rr, ok := ref["table3"]["call/reply atmosphere"]
+	if !ok || rr.Value != 1000 || rr.Unit != "cycles" {
+		t.Fatalf("table3 row = %+v, ok=%v", rr, ok)
+	}
+	if rr := ref["fig4"]["64B linked"]; rr.Value != 20 || rr.Unit != "Mpps" {
+		t.Fatalf("fig4 row = %+v", rr)
+	}
+	if _, ok := ref["table3"]["case"]; ok {
+		t.Fatal("column header parsed as a data row")
+	}
+}
+
+func TestParseReferenceRealFile(t *testing.T) {
+	f, err := os.Open("../../bench_all_reference.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ref, err := ParseReference(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, ok := ref["table3"]["call/reply atmosphere"]
+	if !ok || rr.Unit != "cycles" || rr.Value == 0 {
+		t.Fatalf("real reference missing table3 call/reply: %+v ok=%v", rr, ok)
+	}
+	for _, id := range []string{"fig4", "fig5", "fig6", "fig7", "ablation"} {
+		if len(ref[id]) == 0 {
+			t.Errorf("real reference missing experiment %s", id)
+		}
+	}
+}
+
+func TestCompareDirections(t *testing.T) {
+	ref := fixtureRef(t)
+	res := []Result{
+		{ID: "table3", Rows: []Row{
+			{Name: "call/reply atmosphere", Value: 1111, Unit: "cycles"}, // +11.1% latency: worse
+			{Name: "map a page atmosphere", Value: 1500, Unit: "cycles"}, // faster: fine
+		}},
+		{ID: "fig4", Rows: []Row{
+			{Name: "64B linked", Value: 17.0, Unit: "Mpps"}, // -15% throughput: worse
+			{Name: "host seconds", Value: 99.0, Unit: "s"},  // host unit: skipped
+		}},
+		{ID: "table2", Rows: []Row{
+			{Name: "proof lines", Value: 9999, Unit: "LoC"}, // static unit: skipped
+		}},
+		{ID: "degraded", Rows: []Row{
+			{Name: "anything", Value: 1, Unit: "cycles"}, // not in reference: skipped
+		}},
+	}
+	regs := CompareToReference(res, ref, 10)
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2:\n%s", len(regs), strings.Join(regs, "\n"))
+	}
+	if !strings.Contains(regs[0], "call/reply atmosphere") || !strings.Contains(regs[0], "worse") {
+		t.Errorf("latency regression not reported: %q", regs[0])
+	}
+	if !strings.Contains(regs[1], "64B linked") {
+		t.Errorf("throughput regression not reported: %q", regs[1])
+	}
+}
+
+func TestCompareTolerance(t *testing.T) {
+	ref := fixtureRef(t)
+	within := []Result{{ID: "table3", Rows: []Row{
+		{Name: "call/reply atmosphere", Value: 1099, Unit: "cycles"}, // +9.9%
+	}}}
+	if regs := CompareToReference(within, ref, 10); len(regs) != 0 {
+		t.Fatalf("within-tolerance delta flagged: %v", regs)
+	}
+	zero := []Result{{ID: "table3", Rows: []Row{
+		{Name: "call/reply atmosphere", Value: 0, Unit: "cycles"},
+	}}}
+	if regs := CompareToReference(zero, ref, 10); len(regs) != 0 {
+		t.Fatalf("zero measurement flagged: %v", regs)
+	}
+}
+
+func TestWriteResultJSON(t *testing.T) {
+	r := Result{
+		ID: "table3", Title: "Latency",
+		Rows:  []Row{{Name: "call/reply atmosphere", Value: 1060, Paper: 1058, Unit: "cycles"}},
+		Notes: []string{"simulated"},
+	}
+	var a, b bytes.Buffer
+	if err := WriteResultJSON(&a, r, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteResultJSON(&b, r, 0xdeadbeef); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("JSON export is not byte-deterministic")
+	}
+	for _, want := range []string{
+		`"id": "table3"`, `"case": "call/reply atmosphere"`,
+		`"measured": 1060`, `"paper": 1058`, `"unit": "cycles"`,
+		`"trace_hash": "00000000deadbeef"`,
+	} {
+		if !strings.Contains(a.String(), want) {
+			t.Errorf("JSON missing %s:\n%s", want, a.String())
+		}
+	}
+	var c bytes.Buffer
+	if err := WriteResultJSON(&c, r, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(c.String(), "trace_hash") {
+		t.Error("trace_hash emitted without a tracer")
+	}
+}

@@ -3,6 +3,7 @@ package bench
 import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
 )
 
 // Observability taps for the benchmark kernels. Each experiment boots
@@ -13,6 +14,7 @@ import (
 var (
 	benchTracer  *obs.Tracer
 	benchMetrics *obs.Registry
+	benchLedger  *account.Ledger
 )
 
 // SetObs installs the tracer/registry every subsequent experiment
@@ -22,9 +24,19 @@ func SetObs(t *obs.Tracer, m *obs.Registry) {
 	benchMetrics = m
 }
 
+// SetLedger installs a page-ownership ledger every subsequent
+// experiment binds to its kernel's allocator (nil disables). Rebinding
+// the same ledger per boot resets it, so after a run it reflects the
+// last experiment's kernel — enough for the closure audit and the
+// attribution rows, which is what -profile consumers want.
+func SetLedger(l *account.Ledger) { benchLedger = l }
+
 // attachObs wires the installed sinks into a freshly booted kernel.
 func attachObs(k *kernel.Kernel) {
 	if benchTracer != nil || benchMetrics != nil {
 		k.AttachObs(benchTracer, benchMetrics)
+	}
+	if benchLedger != nil {
+		k.AttachLedger(benchLedger)
 	}
 }

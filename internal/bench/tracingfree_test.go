@@ -4,12 +4,15 @@ import (
 	"testing"
 
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/profile"
 )
 
 // Table 3 cycle costs of the deterministic cycle model. Observability
-// must be free: attaching a tracer and metrics registry to the
-// benchmark kernels may not move either number by a single cycle, and
-// neither may this PR move them against the pre-observability baseline.
+// must be free: attaching a tracer, metrics registry, and accounting
+// ledger to the benchmark kernels may not move either number by a
+// single cycle, and neither may this PR move them against the
+// pre-observability baseline.
 const (
 	baselineCallReply = 1060.0
 	baselineMapPage   = 1980.0
@@ -17,7 +20,11 @@ const (
 
 func TestTracingIsFree(t *testing.T) {
 	SetObs(nil, nil)
-	defer SetObs(nil, nil)
+	SetLedger(nil)
+	defer func() {
+		SetObs(nil, nil)
+		SetLedger(nil)
+	}()
 
 	offIPC, err := atmoCallReplyCycles()
 	if err != nil {
@@ -35,7 +42,9 @@ func TestTracingIsFree(t *testing.T) {
 	}
 
 	tr := obs.NewTracer(1 << 12)
+	ledger := account.NewLedger()
 	SetObs(tr, obs.NewRegistry())
+	SetLedger(ledger)
 	onIPC, err := atmoCallReplyCycles()
 	if err != nil {
 		t.Fatal(err)
@@ -52,5 +61,17 @@ func TestTracingIsFree(t *testing.T) {
 	}
 	if tr.Len() == 0 {
 		t.Error("tracer attached but recorded no events — the guard proved nothing")
+	}
+	// The profiler and auditor ride the same attach points: folding the
+	// span stream must see the cycles the tracer saw, and the ledger's
+	// closure audit must pass on the benchmark kernel it was bound to.
+	if p := profile.Fold(tr); p.TotalCycles() == 0 {
+		t.Error("profiler folded zero cycles from the benchmark trace")
+	}
+	if err := ledger.Audit(); err != nil {
+		t.Errorf("ledger audit on benchmark kernel: %v", err)
+	}
+	if ledger.LivePages() == 0 {
+		t.Error("ledger attached but tracked no pages — the guard proved nothing")
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nvme"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/verify"
 )
@@ -46,6 +47,12 @@ type ChaosConfig struct {
 	// already was).
 	Trace   *obs.Tracer
 	Metrics *obs.Registry
+
+	// Ledger, when set, is attached to the kernel and audited at every
+	// verify point (plus once at the end); an audit failure counts as an
+	// invariant violation in the report. Driver container generations
+	// are named "nvme.gen<N>" in the ledger.
+	Ledger *account.Ledger
 }
 
 // ChaosReport is the deterministic outcome of a chaos run: two runs
@@ -131,6 +138,8 @@ type chaosHarness struct {
 	appTrack, harnessTrack obs.TrackID
 	nSet, nGet, nWait      obs.NameID
 
+	gen int // driver generations spawned (ledger naming)
+
 	accum  DriverStats // stats of dead driver generations (no-registry runs)
 	report ChaosReport
 }
@@ -164,6 +173,9 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 		return nil, err
 	}
 	k.AttachObs(cfg.Trace, cfg.Metrics)
+	if cfg.Ledger != nil {
+		k.AttachLedger(cfg.Ledger)
+	}
 	h := &chaosHarness{cfg: cfg, k: k, init: init}
 	h.report.Ops = cfg.Ops
 	if t := cfg.Trace; t != nil {
@@ -260,6 +272,11 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 			if err := verify.TotalWF(k); err != nil {
 				h.report.Violations++
 			}
+			// The closure audit rides the same cadence: a page leaked
+			// across a wedge/respawn shows up as a violation here.
+			if err := cfg.Ledger.Audit(); err != nil {
+				h.report.Violations++
+			}
 		}
 	}
 	if len(records) > 0 {
@@ -278,6 +295,10 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 	h.report.Checked += watcher.Checked
 	h.report.Violations += len(watcher.Violations)
 	h.report.TotalCycles = k.Machine.TotalCycles()
+	if err := cfg.Ledger.Audit(); err != nil {
+		h.report.Violations++
+		return &h.report, fmt.Errorf("drivers: final ledger audit: %w", err)
+	}
 	if err := verify.TotalWF(k); err != nil {
 		h.report.Violations++
 		return &h.report, fmt.Errorf("drivers: final state ill-formed: %w", err)
@@ -415,6 +436,13 @@ func (h *chaosHarness) spawnDriver() (pm.Ptr, *NvmeDriver, error) {
 	if err != nil {
 		return fail(fmt.Errorf("drivers: chaos setup: %w", err))
 	}
+	if l := h.cfg.Ledger; l != nil {
+		l.NameContainer(cntr, fmt.Sprintf("nvme.gen%d", h.gen))
+		// Fixed gauge name: re-registration repoints the live gauges at
+		// the new generation's container, like the shared stat counters.
+		l.RegisterContainerMetrics(k.Metrics(), "nvme", cntr)
+	}
+	h.gen++
 	return cntr, drv, nil
 }
 

@@ -18,6 +18,7 @@ import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nic"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 )
@@ -54,6 +55,11 @@ type IxgbeDriver struct {
 
 	stats *statSet
 
+	// Accounting (nil/zero when no ledger is attached to the kernel):
+	// data-path cycles are billed to the driver's container.
+	ledger *account.Ledger
+	cntr   pm.Ptr
+
 	// Tracing (nil/zero when no tracer is attached to the kernel).
 	tr       *obs.Tracer
 	track    obs.TrackID
@@ -83,6 +89,8 @@ func SetupIxgbe(k *kernel.Kernel, tid pm.Ptr, core int, dev *nic.Device, ringSiz
 		d.nTx = t.Name("ixgbe.tx_burst")
 	}
 	proc := k.PM.Proc(k.PM.Thrd(tid).OwningProc)
+	d.ledger = k.Ledger()
+	d.cntr = proc.Owner
 
 	vaBase := hw.VirtAddr(0x200000000)
 	mapRange := func(pages int) (hw.VirtAddr, error) {
@@ -189,6 +197,15 @@ func SetupIxgbe(k *kernel.Kernel, tid pm.Ptr, core int, dev *nic.Device, ringSiz
 
 func (d *IxgbeDriver) clock() *hw.Clock { return &d.K.Machine.Core(d.Core).Clock }
 
+// chargeLedger bills user-space driver cycles since start (direct MMIO
+// and polling, no kernel crossing so no syscall attribution) to the
+// driver's container.
+func (d *IxgbeDriver) chargeLedger(start uint64) {
+	if d.ledger != nil {
+		d.ledger.ChargeCycles(d.cntr, d.clock().Cycles()-start)
+	}
+}
+
 // RxBurst polls up to max completed RX descriptors, collects frame
 // views into d.Frames, recycles the descriptors, and bumps the tail
 // doorbell once per burst. Returns the number of frames received.
@@ -198,6 +215,7 @@ func (d *IxgbeDriver) RxBurst(max int) int {
 	spanStart := clk.Cycles()
 	n, scanned := 0, 0
 	defer func() {
+		d.chargeLedger(spanStart)
 		if d.tr != nil {
 			d.tr.SpanArg(d.track, d.nRx, spanStart, clk.Cycles(), uint64(n))
 		}
@@ -258,6 +276,7 @@ func (d *IxgbeDriver) TxBurst(frames [][]byte) error {
 	mem := d.K.Machine.Mem
 	spanStart := clk.Cycles()
 	defer func() {
+		d.chargeLedger(spanStart)
 		if d.tr != nil {
 			d.tr.SpanArg(d.track, d.nTx, spanStart, clk.Cycles(), uint64(len(frames)))
 		}

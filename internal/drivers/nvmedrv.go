@@ -8,6 +8,7 @@ import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/nvme"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 )
@@ -49,6 +50,11 @@ type NvmeDriver struct {
 
 	stats *statSet
 
+	// Accounting (nil/zero when no ledger is attached to the kernel):
+	// data-path cycles are billed to the driver's container.
+	ledger *account.Ledger
+	cntr   pm.Ptr
+
 	// Tracing (nil/zero when no tracer is attached to the kernel).
 	tr                       *obs.Tracer
 	track                    obs.TrackID
@@ -82,6 +88,8 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 		d.nBackoff = t.Name("nvme.backoff")
 	}
 	proc := k.PM.Proc(k.PM.Thrd(tid).OwningProc)
+	d.ledger = k.Ledger()
+	d.cntr = proc.Owner
 	vaBase := hw.VirtAddr(0x300000000)
 	mapRange := func(pages int) (hw.VirtAddr, error) {
 		va := vaBase
@@ -164,6 +172,15 @@ func SetupNvme(k *kernel.Kernel, tid pm.Ptr, core int, dev *nvme.Device, qSize i
 
 func (d *NvmeDriver) clock() *hw.Clock { return &d.K.Machine.Core(d.Core).Clock }
 
+// chargeLedger bills user-space driver cycles since start (direct MMIO
+// and polling, no kernel crossing so no syscall attribution) to the
+// driver's container.
+func (d *NvmeDriver) chargeLedger(start uint64) {
+	if d.ledger != nil {
+		d.ledger.ChargeCycles(d.cntr, d.clock().Cycles()-start)
+	}
+}
+
 // Stats returns the driver's fault/retry counter block — a snapshot of
 // the obs counters behind it. With a metrics registry attached the
 // counters are shared across respawned generations, so the snapshot is
@@ -244,6 +261,7 @@ func (d *NvmeDriver) SubmitBatch(op byte, slba uint64, n int) error {
 	}
 	spanStart := d.clock().Cycles()
 	defer func() {
+		d.chargeLedger(spanStart)
 		if d.tr != nil {
 			d.tr.SpanArg(d.track, d.nSubmit, spanStart, d.clock().Cycles(), uint64(n))
 		}
@@ -278,6 +296,7 @@ func (d *NvmeDriver) PollCompletions(max int) (int, error) {
 	}
 	start := clk.Cycles()
 	defer func() {
+		d.chargeLedger(start)
 		if d.tr != nil {
 			d.tr.Span(d.track, d.nPoll, start, clk.Cycles())
 		}

@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"strings"
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/pt"
+)
+
+// bootLedger boots a kernel with tracer, metrics, and ledger attached.
+func bootLedger(t *testing.T) (*Kernel, pm.Ptr, *account.Ledger) {
+	t.Helper()
+	k, init := boot(t)
+	k.AttachObs(obs.NewTracer(1<<12), obs.NewRegistry())
+	l := account.NewLedger()
+	k.AttachLedger(l)
+	return k, init, l
+}
+
+func auditOK(t *testing.T, l *account.Ledger) {
+	t.Helper()
+	if err := l.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+}
+
+// TestLedgerTracksSyscalls walks the ledger through the container
+// lifecycle: creation in a target container, mmap, an IPC page grant
+// crossing containers, and revocation — auditing the closure invariant
+// at every step.
+func TestLedgerTracksSyscalls(t *testing.T) {
+	k, init, l := bootLedger(t)
+	auditOK(t, l) // boot state seeds clean
+
+	rA := mustOK(t, k.SysNewContainer(0, init, 60, []int{0}))
+	a := pm.Ptr(rA.Vals[0])
+	l.NameContainer(a, "A")
+	if got := l.ContainerPages(a); got != 1 {
+		t.Fatalf("A pages after new_container = %d, want 1 (its object page)", got)
+	}
+	rp := mustOK(t, k.SysNewProcessIn(0, init, a))
+	rt := mustOK(t, k.SysNewThreadIn(0, init, pm.Ptr(rp.Vals[0]), 0))
+	tidA := pm.Ptr(rt.Vals[0])
+	// container + process + PML4 + thread object pages.
+	if got := l.ContainerPages(a); got != 4 {
+		t.Fatalf("A pages after proc+thread = %d, want 4", got)
+	}
+	auditOK(t, l)
+
+	// A maps 4 user pages; 3 page-table nodes materialize.
+	mustOK(t, k.SysMmap(0, tidA, 0x400000, 4, hw.Size4K, pt.RW))
+	if got := l.ContainerPages(a); got != 4+4+3 {
+		t.Fatalf("A pages after mmap = %d, want 11", got)
+	}
+	if l.ContainerCycles(a) == 0 {
+		t.Fatal("A's syscall cycles were not billed to A")
+	}
+	auditOK(t, l)
+
+	// A grants one page to the root-owned init thread over IPC.
+	re := mustOK(t, k.SysNewEndpoint(0, init, 0))
+	ep := pm.Ptr(re.Vals[0])
+	k.PM.Thrd(tidA).Endpoints[0] = ep
+	k.PM.EndpointIncRef(ep, 1)
+	rootBefore := l.ContainerPages(k.PM.RootContainer)
+	if r := k.SysRecv(0, init, 0, RecvArgs{PageVA: 0x7000, EdptSlot: -1}); r.Errno != EWOULDBLOCK {
+		t.Fatalf("recv: %v", r.Errno)
+	}
+	mustOK(t, k.SysSend(0, tidA, 0, SendArgs{SendPage: true, PageVA: 0x400000}))
+	// Root gained the mapping ref (+1 user page +1 PT node for 0x7000's
+	// table walk is possible; at minimum the user page arrived).
+	if got := l.ContainerPages(k.PM.RootContainer); got <= rootBefore {
+		t.Fatalf("root pages did not grow across IPC grant: %d -> %d", rootBefore, got)
+	}
+	if got := l.ContainerPages(account.InFlight); got != 0 {
+		t.Fatalf("in-flight pages after delivery = %d, want 0", got)
+	}
+	auditOK(t, l)
+
+	// Revoke A wholesale: its closure must drain to zero while the
+	// shared page survives under root's ref.
+	mustOK(t, k.SysKillContainer(0, init, a))
+	if got := l.ContainerPages(a); got != 0 {
+		t.Fatalf("A pages after kill = %d, want 0", got)
+	}
+	auditOK(t, l)
+}
+
+// TestLedgerInFlightDropOnKill parks a page reference on the InFlight
+// pseudo-container via a blocked sender, then kills the sender's
+// container: the reference must drain without leaking.
+func TestLedgerInFlightDropOnKill(t *testing.T) {
+	k, init, l := bootLedger(t)
+	rA := mustOK(t, k.SysNewContainer(0, init, 60, []int{0}))
+	a := pm.Ptr(rA.Vals[0])
+	rp := mustOK(t, k.SysNewProcessIn(0, init, a))
+	rt := mustOK(t, k.SysNewThreadIn(0, init, pm.Ptr(rp.Vals[0]), 0))
+	tidA := pm.Ptr(rt.Vals[0])
+	mustOK(t, k.SysMmap(0, tidA, 0x400000, 1, hw.Size4K, pt.RW))
+	// Root-owned endpoint shared into A; A blocks sending a page.
+	re := mustOK(t, k.SysNewEndpoint(0, init, 2))
+	ep := pm.Ptr(re.Vals[0])
+	k.PM.Thrd(tidA).Endpoints[0] = ep
+	k.PM.EndpointIncRef(ep, 1)
+	if r := k.SysSend(0, tidA, 0, SendArgs{SendPage: true, PageVA: 0x400000}); r.Errno != EWOULDBLOCK {
+		t.Fatalf("send should block: %v", r.Errno)
+	}
+	if got := l.ContainerPages(account.InFlight); got != 1 {
+		t.Fatalf("in-flight pages while blocked = %d, want 1", got)
+	}
+	auditOK(t, l)
+	mustOK(t, k.SysKillContainer(0, init, a))
+	if got := l.ContainerPages(account.InFlight); got != 0 {
+		t.Fatalf("in-flight pages after kill = %d, want 0", got)
+	}
+	if got := l.ContainerPages(a); got != 0 {
+		t.Fatalf("A pages after kill = %d, want 0", got)
+	}
+	if got := l.Anomalies(); got != 0 {
+		t.Fatalf("anomalies = %d, want 0", got)
+	}
+	auditOK(t, l)
+}
+
+// TestLedgerMetricsThroughKernel checks the registry surface: ledger
+// gauges and the tracer ring gauges land in the metrics dump.
+func TestLedgerMetricsThroughKernel(t *testing.T) {
+	k, init, l := bootLedger(t)
+	mustOK(t, k.SysMmap(0, init, 0x400000, 2, hw.Size4K, pt.RW))
+	l.RegisterContainerMetrics(k.Metrics(), "root", k.PM.RootContainer)
+	var sb strings.Builder
+	if err := k.Metrics().WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"account.pages.live",
+		"account.audit_failures 0",
+		"account.cntr.root.pages",
+		"trace.dropped 0",
+		"trace.capacity 4096",
+		"trace.events",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestLedgerIterativeKill drives the bounded-kill path with a ledger
+// attached: every intermediate state must still satisfy the closure
+// audit, and the victim's closure must reach zero.
+func TestLedgerIterativeKill(t *testing.T) {
+	k, init, l := bootLedger(t)
+	rA := mustOK(t, k.SysNewContainer(0, init, 80, []int{0}))
+	a := pm.Ptr(rA.Vals[0])
+	rp := mustOK(t, k.SysNewProcessIn(0, init, a))
+	rt := mustOK(t, k.SysNewThreadIn(0, init, pm.Ptr(rp.Vals[0]), 0))
+	tidA := pm.Ptr(rt.Vals[0])
+	mustOK(t, k.SysMmap(0, tidA, 0x400000, 8, hw.Size4K, pt.RW))
+	auditOK(t, l)
+	for rounds := 0; ; rounds++ {
+		if rounds > 10000 {
+			t.Fatal("bounded kill did not converge")
+		}
+		r := k.SysKillContainerBounded(0, init, a, 2)
+		auditOK(t, l) // closure invariant holds mid-teardown
+		if r.Errno == OK {
+			break
+		}
+		if r.Errno != EAGAIN {
+			t.Fatalf("bounded kill: %v", r.Errno)
+		}
+	}
+	if got := l.ContainerPages(a); got != 0 {
+		t.Fatalf("A pages after iterative kill = %d, want 0", got)
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/iommu"
 	"atmosphere/internal/mem"
+	"atmosphere/internal/obs/account"
 	"atmosphere/internal/pm"
 )
 
@@ -109,6 +110,15 @@ type Kernel struct {
 	// so attaching it cannot change a charged cycle.
 	obs *kobs
 
+	// ledger is the attached accounting ledger (internal/obs/account);
+	// nil unless AttachLedger wired one in. Like obs it only reads
+	// state, so attaching it cannot change a charged cycle.
+	ledger *account.Ledger
+
+	// lcntr is the container the in-flight syscall's cycles are billed
+	// to: the caller's owning container, resolved by callerThread.
+	lcntr pm.Ptr
+
 	// Hooks let the verifier observe every transition (nil in
 	// benchmarks; charged nothing).
 	PostSyscall func(name string, caller pm.Ptr, ret Ret)
@@ -181,6 +191,14 @@ func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 		if k.obs != nil {
 			k.obs.leave(delta)
 		}
+		if k.ledger != nil {
+			// Bill the syscall's cycles to the caller's container (0 =
+			// unattributed: invalid caller, IRQ dispatch) and drop the
+			// attribution context before the lock releases.
+			k.ledger.ChargeCycles(k.lcntr, delta)
+			k.ledger.SetContext(0)
+			k.lcntr = 0
+		}
 		k.Machine.Core(core).Clock.Charge(delta)
 		k.big.Unlock()
 	}
@@ -198,6 +216,14 @@ func (k *Kernel) callerThread(tid pm.Ptr) (*pm.Thread, bool) {
 	}
 	if k.frozen(t) {
 		return nil, false
+	}
+	if k.ledger != nil {
+		// The caller's container is the attribution context for every
+		// page transition this syscall performs (overridden at the few
+		// sites acting on a different container) and the bill for its
+		// cycles at leave.
+		k.ledger.SetContext(t.OwningCntr)
+		k.lcntr = t.OwningCntr
 	}
 	return t, true
 }

@@ -88,6 +88,13 @@ func (k *Kernel) AttachObs(t *obs.Tracer, m *obs.Registry) {
 		o.cIRQ = m.Counter("irq.raised")
 		o.cIRQDrop = m.Counter("irq.dropped")
 		o.sysStats = make(map[string]*sysStat)
+		if t != nil {
+			// Ring health: drop-oldest truncation is silent on the trace
+			// itself, so surface it in the metrics dump.
+			m.Gauge("trace.dropped", t.Dropped)
+			m.Gauge("trace.events", func() uint64 { return uint64(t.Len()) })
+			m.Gauge("trace.capacity", func() uint64 { return uint64(t.Cap()) })
+		}
 	}
 	k.obs = o
 }

@@ -178,6 +178,13 @@ func (s *Supervisor) recover(core int, name string, w *watch) error {
 		clk := s.K.Machine.Core(core).Clock
 		base := clk.Cycles()
 		clk.Charge(hw.CostContextSwitch)
+		if l := s.K.Ledger(); l != nil {
+			// The pause is supervisor work: bill it to the supervisor
+			// thread's own container, not the victim.
+			if st, ok := s.K.PM.TryThrd(s.Tid); ok {
+				l.ChargeCycles(st.OwningCntr, hw.CostContextSwitch)
+			}
+		}
 		if t := s.K.Tracer(); t != nil {
 			tr := t.Track(core, CoreName(core), "supervisor")
 			t.Span(tr, t.Name("supervisor.pause"), base, clk.Cycles())

@@ -90,6 +90,7 @@ func (k *Kernel) resolveMsg(t *pm.Thread, args SendArgs) (pm.Msg, Errno) {
 		if err := k.Alloc.IncRef(e.Phys); err != nil {
 			return msg, EINVAL
 		}
+		k.ledgerSend(e.Phys, proc.Owner)
 		msg.HasPage = true
 		msg.Page = e.Phys
 		msg.PageSize = e.Size
@@ -120,9 +121,11 @@ func (k *Kernel) resolveMsg(t *pm.Thread, args SendArgs) (pm.Msg, Errno) {
 // holds.
 func (k *Kernel) dropMsg(msg *pm.Msg) {
 	if msg.HasPage {
-		if _, err := k.Alloc.DecRef(msg.Page); err != nil {
-			panic(err)
-		}
+		k.ledgerDropInFlight(func() {
+			if _, err := k.Alloc.DecRef(msg.Page); err != nil {
+				panic(err)
+			}
+		})
 		msg.HasPage = false
 	}
 }
@@ -134,6 +137,9 @@ func (k *Kernel) dropMsg(msg *pm.Msg) {
 func (k *Kernel) deliver(rt *pm.Thread, msg pm.Msg) error {
 	if msg.HasPage {
 		proc := k.PM.Proc(rt.OwningProc)
+		// Page-table nodes this mapping materializes belong to the
+		// receiver's container, whichever side drove the rendezvous.
+		k.ledgerCtx(proc.Owner)
 		if err := k.PM.ChargePages(proc.Owner, pagesIn4K(msg.PageSize)); err != nil {
 			k.dropMsg(&msg)
 			return err
@@ -162,6 +168,7 @@ func (k *Kernel) deliver(rt *pm.Thread, msg pm.Msg) error {
 				return err
 			}
 		}
+		k.ledgerRecv(msg.Page, proc.Owner)
 	}
 	if msg.HasEndpoint {
 		slot := rt.IPC.RecvEdptSlot

@@ -199,6 +199,7 @@ func (k *Kernel) shootdown(core int, cr3 hw.PhysAddr, va hw.VirtAddr, size hw.Pa
 // free-list order it produces) is deterministic — output consistency
 // (§4.3) requires the kernel to be a function of its pre-state.
 func (k *Kernel) unmapAll(proc *pm.Process) {
+	k.ledgerCtx(proc.Owner) // the torn-down refs are the victim's, not the killer's
 	space := proc.PageTable.AddressSpace()
 	vas := make([]hw.VirtAddr, 0, len(space))
 	for va := range space {

@@ -15,6 +15,35 @@ var (
 	ErrNotMergeable = errors.New("mem: no contiguous free range to merge")
 )
 
+// PageOp identifies one page lifecycle transition for the observer hook.
+// Every transition that moves a page between the free/allocated/mapped
+// states (or changes a mapped page's reference count) emits exactly one
+// op, so an observer can maintain a live mirror of the page ownership
+// state without ever scanning the page array.
+type PageOp uint8
+
+// Page lifecycle operations.
+const (
+	// OpAllocObj: a kernel-object page left the free list (AllocPage4K).
+	OpAllocObj PageOp = iota
+	// OpFreeObj: a kernel-object page returned to the free list (FreePage).
+	OpFreeObj
+	// OpAllocUser: a user page left the free list with refcount 1.
+	OpAllocUser
+	// OpIncRef: a mapped page gained a reference.
+	OpIncRef
+	// OpDecRef: a mapped page lost a reference but remains mapped.
+	OpDecRef
+	// OpFreeUser: a mapped page lost its last reference and was freed.
+	OpFreeUser
+)
+
+// PageObserver receives page lifecycle events. Like the fault hook it is
+// consulted synchronously under the caller's locking discipline; it must
+// never call back into the allocator and must charge no cycles (the
+// observability contract: attaching one cannot move a benchmark number).
+type PageObserver func(op PageOp, p hw.PhysAddr, sc SizeClass)
+
 // Allocator is the Atmosphere page allocator. Dynamic memory for kernel
 // objects and user mappings is handed out at 4 KiB / 2 MiB / 1 GiB
 // granularity, one object per page (§4.2). The allocator charges its
@@ -41,6 +70,10 @@ type Allocator struct {
 
 	// InjectedFailures counts allocations the hook failed.
 	InjectedFailures uint64
+
+	// observer, when set, sees every page lifecycle transition (the
+	// accounting ledger's live feed). Never charged a cycle.
+	observer PageObserver
 }
 
 // NewAllocator builds an allocator over all frames of mem, reserving the
@@ -80,6 +113,17 @@ func (a *Allocator) Mem() *hw.PhysMem { return a.mem }
 // SetFaultHook installs (or, with nil, removes) the transient
 // exhaustion hook.
 func (a *Allocator) SetFaultHook(h func() bool) { a.faultHook = h }
+
+// SetObserver installs (or, with nil, removes) the page lifecycle
+// observer.
+func (a *Allocator) SetObserver(ob PageObserver) { a.observer = ob }
+
+// observe emits one lifecycle event if an observer is installed.
+func (a *Allocator) observe(op PageOp, p hw.PhysAddr, sc SizeClass) {
+	if a.observer != nil {
+		a.observer(op, p, sc)
+	}
+}
 
 // injectFail reports whether this allocation should fail transiently.
 func (a *Allocator) injectFail() bool {
@@ -179,6 +223,7 @@ func (a *Allocator) AllocPage4K(owner Owner) (hw.PhysAddr, error) {
 	a.mem.ZeroPage(p)
 	a.pages[i].State = StateAllocated
 	a.pages[i].Owner = owner
+	a.observe(OpAllocObj, p, Size4K)
 	return p, nil
 }
 
@@ -198,6 +243,7 @@ func (a *Allocator) AllocUserPage4K() (hw.PhysAddr, error) {
 	a.pages[i].State = StateMapped
 	a.pages[i].Owner = OwnerUser
 	a.pages[i].RefCount = 1
+	a.observe(OpAllocUser, p, Size4K)
 	return p, nil
 }
 
@@ -220,6 +266,7 @@ func (a *Allocator) AllocUserPage(sc SizeClass) (hw.PhysAddr, error) {
 	a.pages[i].State = StateMapped
 	a.pages[i].Owner = OwnerUser
 	a.pages[i].RefCount = 1
+	a.observe(OpAllocUser, p, sc)
 	return p, nil
 }
 
@@ -235,6 +282,7 @@ func (a *Allocator) IncRef(p hw.PhysAddr) error {
 	}
 	a.clock.Charge(hw.CostCacheTouch)
 	pg.RefCount++
+	a.observe(OpIncRef, p, pg.Size)
 	return nil
 }
 
@@ -262,11 +310,14 @@ func (a *Allocator) DecRef(p hw.PhysAddr) (bool, error) {
 	a.clock.Charge(hw.CostCacheTouch)
 	pg.RefCount--
 	if pg.RefCount > 0 {
+		a.observe(OpDecRef, p, pg.Size)
 		return false, nil
 	}
+	sc := pg.Size
 	pg.State = StateFree
 	pg.Owner = OwnerNone
-	a.pushFree(pg.Size, i)
+	a.pushFree(sc, i)
+	a.observe(OpFreeUser, p, sc)
 	return true, nil
 }
 
@@ -287,9 +338,11 @@ func (a *Allocator) FreePage(p hw.PhysAddr) error {
 		return fmt.Errorf("%w: cannot free boot-reserved page %#x", ErrWrongState, p)
 	}
 	a.clock.Charge(hw.CostAllocFast)
+	sc := pg.Size
 	pg.State = StateFree
 	pg.Owner = OwnerNone
-	a.pushFree(pg.Size, i)
+	a.pushFree(sc, i)
+	a.observe(OpFreeObj, p, sc)
 	return nil
 }
 

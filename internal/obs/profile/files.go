@@ -1,0 +1,45 @@
+package profile
+
+import (
+	"fmt"
+	"os"
+
+	"atmosphere/internal/obs"
+)
+
+// WriteFiles folds t's span stream and writes both export formats next
+// to each other: <prefix>.folded (flamegraph.pl / speedscope folded
+// stacks) and <prefix>.pb.gz (gzip'd pprof profile.proto, for `go tool
+// pprof`). Returns the folded profile so callers can print totals.
+func WriteFiles(prefix string, t *obs.Tracer) (*Profile, error) {
+	p := Fold(t)
+	f, err := os.Create(prefix + ".folded")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.WriteFolded(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := f.Close(); err != nil {
+		return nil, err
+	}
+	g, err := os.Create(prefix + ".pb.gz")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.WritePprof(g); err != nil {
+		g.Close()
+		return nil, err
+	}
+	if err := g.Close(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// Describe renders a one-line summary for CLI output.
+func (p *Profile) Describe(prefix string) string {
+	return fmt.Sprintf("wrote profile (%d cycles across %d frames) to %s.folded and %s.pb.gz",
+		p.TotalCycles(), len(p.Totals()), prefix, prefix)
+}

@@ -1,0 +1,357 @@
+// Package profile folds the tracer's span stream into cycle-attribution
+// profiles: per-(core, domain, span-name) exclusive/inclusive totals, a
+// folded-stacks file (Brendan Gregg's flamegraph.pl / speedscope input
+// format), and a gzip'd pprof profile.proto (go tool pprof). The encoder
+// is hand-rolled — no protobuf dependency — and every export is a pure
+// function of the trace, so same-seed runs produce byte-identical output
+// (golden-file tested).
+//
+// Span nesting is recovered by interval containment on each track's
+// timeline: a span whose [TS, TS+Dur) lies inside an earlier span's
+// interval is its child. The kernel's big lock means kernel-track spans
+// never nest, but driver and machine tracks may. Exclusive cycles are a
+// span's duration minus its direct children's; summing exclusive cycles
+// over a track reproduces the track's top-level span time (each nested
+// cycle counted exactly once).
+package profile
+
+import (
+	"compress/gzip"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"atmosphere/internal/obs"
+)
+
+// Total is one (core, domain, span-name) aggregate.
+type Total struct {
+	PIDName   string // core / machine timeline the spans ran on
+	TIDName   string // domain within it ("kernel", "irq", a driver)
+	Name      string // span name
+	Count     uint64
+	Exclusive uint64 // cycles in this span minus direct children
+	Inclusive uint64 // cycles in this span including children
+}
+
+// Profile is a folded trace. Build one with Fold.
+type Profile struct {
+	stacks map[string]uint64 // "pid;tid;frame;...;frame" -> exclusive cycles
+	totals map[totalKey]*Total
+}
+
+type totalKey struct{ pid, tid, name string }
+
+// open is one not-yet-closed span during the containment sweep.
+type open struct {
+	end      uint64
+	path     string
+	childDur uint64
+	key      totalKey
+	dur      uint64
+}
+
+// Fold builds a profile from the tracer's live span events. Nil tracers
+// and instants fold to an empty profile; dropped events are gone (the
+// tracer's Dropped counter says how many).
+func Fold(t *obs.Tracer) *Profile {
+	p := &Profile{
+		stacks: make(map[string]uint64),
+		totals: make(map[totalKey]*Total),
+	}
+	if t == nil {
+		return p
+	}
+	tracks := t.Tracks()
+	byTrack := make([][]obs.Event, len(tracks))
+	for _, e := range t.Events() {
+		if e.Kind != obs.KindSpan || int(e.Track) >= len(tracks) {
+			continue
+		}
+		byTrack[e.Track] = append(byTrack[e.Track], e)
+	}
+	for id, evs := range byTrack {
+		if len(evs) == 0 {
+			continue
+		}
+		tk := tracks[id]
+		p.foldTrack(t, tk, evs)
+	}
+	return p
+}
+
+// foldTrack sweeps one track's spans in timeline order, recovering
+// nesting by containment: sort by start ascending (longer span first on
+// ties, so parents precede children), keep a stack of open spans, pop
+// every span that ended before the next one starts.
+func (p *Profile) foldTrack(t *obs.Tracer, tk obs.Track, evs []obs.Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].TS != evs[j].TS {
+			return evs[i].TS < evs[j].TS
+		}
+		return evs[i].Dur > evs[j].Dur
+	})
+	prefix := tk.PIDName + ";" + tk.TIDName
+	var stack []open
+	pop := func() {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		excl := uint64(0)
+		if o.dur > o.childDur {
+			excl = o.dur - o.childDur
+		}
+		p.stacks[o.path] += excl
+		tot, ok := p.totals[o.key]
+		if !ok {
+			tot = &Total{PIDName: o.key.pid, TIDName: o.key.tid, Name: o.key.name}
+			p.totals[o.key] = tot
+		}
+		tot.Count++
+		tot.Exclusive += excl
+		tot.Inclusive += o.dur
+	}
+	for _, e := range evs {
+		end := e.TS + e.Dur
+		// Close finished spans; an overlapping-but-not-containing span is
+		// treated as a sibling (pop it too).
+		for len(stack) > 0 && (stack[len(stack)-1].end <= e.TS || stack[len(stack)-1].end < end) {
+			pop()
+		}
+		parent := prefix
+		if len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			parent = top.path
+			top.childDur += e.Dur
+		}
+		name := t.NameOf(e.Name)
+		stack = append(stack, open{
+			end:  end,
+			path: parent + ";" + name,
+			key:  totalKey{tk.PIDName, tk.TIDName, name},
+			dur:  e.Dur,
+		})
+	}
+	for len(stack) > 0 {
+		pop()
+	}
+}
+
+// Totals returns the per-(core, domain, name) aggregates, sorted.
+func (p *Profile) Totals() []Total {
+	if p == nil {
+		return nil
+	}
+	out := make([]Total, 0, len(p.totals))
+	for _, t := range p.totals {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.PIDName != b.PIDName {
+			return a.PIDName < b.PIDName
+		}
+		if a.TIDName != b.TIDName {
+			return a.TIDName < b.TIDName
+		}
+		return a.Name < b.Name
+	})
+	return out
+}
+
+// TotalCycles sums exclusive cycles over the whole profile — equal to
+// the tracer's SpanTotal for the folded events.
+func (p *Profile) TotalCycles() uint64 {
+	if p == nil {
+		return 0
+	}
+	var sum uint64
+	for _, v := range p.stacks {
+		sum += v
+	}
+	return sum
+}
+
+// sortedStacks returns the folded stack keys in lexical order.
+func (p *Profile) sortedStacks() []string {
+	keys := make([]string, 0, len(p.stacks))
+	for k := range p.stacks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteFolded writes the profile in folded-stacks format, one
+// "frame;frame;frame <cycles>" line per stack, sorted. Feed it to
+// flamegraph.pl or drop it into speedscope.
+func (p *Profile) WriteFolded(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	for _, k := range p.sortedStacks() {
+		if p.stacks[k] == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, p.stacks[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FoldedString renders WriteFolded to a string.
+func (p *Profile) FoldedString() string {
+	var sb strings.Builder
+	_ = p.WriteFolded(&sb)
+	return sb.String()
+}
+
+// WritePprofRaw writes the uncompressed pprof profile.proto encoding:
+// one sample per folded stack, value = exclusive cycles, locations
+// leaf-first. The golden tests pin these bytes.
+func (p *Profile) WritePprofRaw(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	_, err := w.Write(p.pprofBytes())
+	return err
+}
+
+// WritePprof writes the gzip'd profile.proto, the framing `go tool
+// pprof` expects on disk.
+func (p *Profile) WritePprof(w io.Writer) error {
+	if p == nil {
+		return nil
+	}
+	gz := gzip.NewWriter(w)
+	if _, err := gz.Write(p.pprofBytes()); err != nil {
+		return err
+	}
+	return gz.Close()
+}
+
+// --- hand-rolled profile.proto encoding ---
+//
+// Only the fields pprof requires (numbers from
+// github.com/google/pprof/proto/profile.proto):
+//
+//	Profile:  1 sample_type (ValueType), 2 sample (Sample),
+//	          4 location (Location), 5 function (Function),
+//	          6 string_table (string)
+//	ValueType: 1 type (string idx), 2 unit (string idx)
+//	Sample:    1 location_id (packed uint64, leaf first), 2 value (packed int64)
+//	Location:  1 id, 4 line (Line)
+//	Line:      1 function_id
+//	Function:  1 id, 2 name (string idx)
+//
+// All indices are interned in sorted-stack order, so the byte stream is
+// deterministic.
+
+type protoBuf struct{ b []byte }
+
+func (pb *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		pb.b = append(pb.b, byte(v)|0x80)
+		v >>= 7
+	}
+	pb.b = append(pb.b, byte(v))
+}
+
+// key writes a field tag: number<<3 | wire (0 = varint, 2 = bytes).
+func (pb *protoBuf) key(field, wire int) { pb.uvarint(uint64(field<<3 | wire)) }
+
+func (pb *protoBuf) varintField(field int, v uint64) {
+	pb.key(field, 0)
+	pb.uvarint(v)
+}
+
+func (pb *protoBuf) bytesField(field int, payload []byte) {
+	pb.key(field, 2)
+	pb.uvarint(uint64(len(payload)))
+	pb.b = append(pb.b, payload...)
+}
+
+func (pb *protoBuf) stringField(field int, s string) {
+	pb.bytesField(field, []byte(s))
+}
+
+func (pb *protoBuf) packedField(field int, vals []uint64) {
+	var inner protoBuf
+	for _, v := range vals {
+		inner.uvarint(v)
+	}
+	pb.bytesField(field, inner.b)
+}
+
+func (p *Profile) pprofBytes() []byte {
+	strTab := []string{""}
+	strIx := map[string]int{"": 0}
+	intern := func(s string) uint64 {
+		if i, ok := strIx[s]; ok {
+			return uint64(i)
+		}
+		i := len(strTab)
+		strTab = append(strTab, s)
+		strIx[s] = i
+		return uint64(i)
+	}
+	cycles := intern("cycles")
+
+	stacks := p.sortedStacks()
+	funcIx := make(map[string]uint64) // frame name -> 1-based function/location id
+	var funcNames []string
+	funcOf := func(frame string) uint64 {
+		if id, ok := funcIx[frame]; ok {
+			return id
+		}
+		id := uint64(len(funcNames) + 1)
+		funcNames = append(funcNames, frame)
+		funcIx[frame] = id
+		return id
+	}
+
+	var samples protoBuf
+	for _, k := range stacks {
+		v := p.stacks[k]
+		if v == 0 {
+			continue
+		}
+		frames := strings.Split(k, ";")
+		locs := make([]uint64, 0, len(frames))
+		for i := len(frames) - 1; i >= 0; i-- { // leaf first
+			locs = append(locs, funcOf(frames[i]))
+		}
+		var s protoBuf
+		s.packedField(1, locs)
+		s.packedField(2, []uint64{v})
+		samples.bytesField(2, s.b)
+	}
+
+	var out protoBuf
+	var vt protoBuf
+	vt.varintField(1, cycles)
+	vt.varintField(2, cycles)
+	out.bytesField(1, vt.b) // sample_type
+	out.b = append(out.b, samples.b...)
+	for i := range funcNames {
+		id := uint64(i + 1)
+		var line protoBuf
+		line.varintField(1, id) // function_id
+		var loc protoBuf
+		loc.varintField(1, id)
+		loc.bytesField(4, line.b)
+		out.bytesField(4, loc.b)
+	}
+	for i, name := range funcNames {
+		id := uint64(i + 1)
+		var fn protoBuf
+		fn.varintField(1, id)
+		fn.varintField(2, intern(name))
+		out.bytesField(5, fn.b)
+	}
+	for _, s := range strTab {
+		out.stringField(6, s)
+	}
+	return out.b
+}

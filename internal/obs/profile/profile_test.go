@@ -1,0 +1,282 @@
+package profile
+
+import (
+	"bytes"
+	"compress/gzip"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atmosphere/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testTrace builds a small synthetic trace with nesting, siblings, two
+// domains on one core, and a second core — enough shape to exercise the
+// containment sweep and keep the goldens readable.
+func testTrace() *obs.Tracer {
+	tr := obs.NewTracer(64)
+	k0 := tr.Track(0, "core0", "kernel")
+	d0 := tr.Track(0, "core0", "nvme-driver")
+	k1 := tr.Track(1, "core1", "kernel")
+	nCall := tr.Name("call")
+	nMap := tr.Name("map_page")
+	nWalk := tr.Name("pt_walk")
+	nSubmit := tr.Name("submit")
+	nPoll := tr.Name("poll")
+
+	// core0 kernel: call [0,100) containing pt_walk [10,30) and
+	// pt_walk [40,55); then map_page [200,260) containing pt_walk [210,240).
+	tr.Span(k0, nCall, 0, 100)
+	tr.Span(k0, nWalk, 10, 30)
+	tr.Span(k0, nWalk, 40, 55)
+	tr.Span(k0, nMap, 200, 260)
+	tr.Span(k0, nWalk, 210, 240)
+	// core0 driver: submit [0,40), poll [50,80).
+	tr.Span(d0, nSubmit, 0, 40)
+	tr.Span(d0, nPoll, 50, 80)
+	// core1 kernel: call [5,25).
+	tr.Span(k1, nCall, 5, 25)
+	// An instant must not contribute cycles.
+	tr.Instant(k0, nCall, 300, 7)
+	return tr
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s differs from golden (%d vs %d bytes); rerun with -update if intended\ngot:\n%s",
+			name, len(got), len(want), got)
+	}
+}
+
+func TestFoldExclusiveInclusive(t *testing.T) {
+	p := Fold(testTrace())
+	totals := p.Totals()
+	find := func(pid, tid, name string) Total {
+		for _, tot := range totals {
+			if tot.PIDName == pid && tot.TIDName == tid && tot.Name == name {
+				return tot
+			}
+		}
+		t.Fatalf("total %s;%s;%s missing", pid, tid, name)
+		return Total{}
+	}
+	call := find("core0", "kernel", "call")
+	if call.Inclusive != 100 || call.Exclusive != 100-20-15 || call.Count != 1 {
+		t.Fatalf("call total = %+v", call)
+	}
+	walk := find("core0", "kernel", "pt_walk")
+	if walk.Inclusive != 20+15+30 || walk.Exclusive != walk.Inclusive || walk.Count != 3 {
+		t.Fatalf("pt_walk total = %+v", walk)
+	}
+	mp := find("core0", "kernel", "map_page")
+	if mp.Exclusive != 30 {
+		t.Fatalf("map_page exclusive = %d, want 30", mp.Exclusive)
+	}
+	// Exclusive cycles across the profile reproduce the top-level span
+	// time: 100 + 60 on core0 kernel, 40 + 30 on the driver, 20 on
+	// core1 (nested children count once, instants not at all).
+	if got := p.TotalCycles(); got != 250 {
+		t.Fatalf("TotalCycles = %d, want 250", got)
+	}
+}
+
+func TestFoldedGolden(t *testing.T) {
+	p := Fold(testTrace())
+	checkGolden(t, "fold.golden", []byte(p.FoldedString()))
+}
+
+func TestPprofGolden(t *testing.T) {
+	p := Fold(testTrace())
+	var raw bytes.Buffer
+	if err := p.WritePprofRaw(&raw); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "profile_raw.pb.golden", raw.Bytes())
+}
+
+func TestPprofGzipRoundTrip(t *testing.T) {
+	p := Fold(testTrace())
+	var raw, gz bytes.Buffer
+	if err := p.WritePprofRaw(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.WritePprof(&gz); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gz.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unz, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unz, raw.Bytes()) {
+		t.Fatal("gzip'd pprof does not decompress to the raw encoding")
+	}
+	// Same profile exported twice is byte-identical, gzip included.
+	var gz2 bytes.Buffer
+	if err := p.WritePprof(&gz2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gz.Bytes(), gz2.Bytes()) {
+		t.Fatal("repeated gzip export differs")
+	}
+}
+
+func TestFoldDeterministic(t *testing.T) {
+	a := Fold(testTrace()).FoldedString()
+	b := Fold(testTrace()).FoldedString()
+	if a != b {
+		t.Fatal("same trace folds to different output")
+	}
+	var pa, pb bytes.Buffer
+	if err := Fold(testTrace()).WritePprofRaw(&pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := Fold(testTrace()).WritePprofRaw(&pb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(pa.Bytes(), pb.Bytes()) {
+		t.Fatal("same trace encodes to different pprof bytes")
+	}
+}
+
+func TestFoldNilAndEmpty(t *testing.T) {
+	if got := Fold(nil).FoldedString(); got != "" {
+		t.Fatalf("nil fold = %q", got)
+	}
+	if tot := Fold(nil).Totals(); len(tot) != 0 {
+		t.Fatalf("nil totals = %v", tot)
+	}
+	var sink bytes.Buffer
+	if err := Fold(obs.NewTracer(8)).WritePprof(&sink); err != nil {
+		t.Fatal(err)
+	}
+	var nilP *Profile
+	if nilP.TotalCycles() != 0 || nilP.Totals() != nil {
+		t.Fatal("nil profile returned state")
+	}
+	if err := nilP.WriteFolded(&sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilP.WritePprof(&sink); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPprofParsableShape decodes the raw encoding enough to verify the
+// structural invariants a pprof reader relies on: string table starts
+// with "", every sample references valid locations, every location a
+// valid function, every function a valid name index.
+func TestPprofParsableShape(t *testing.T) {
+	p := Fold(testTrace())
+	var raw bytes.Buffer
+	if err := p.WritePprofRaw(&raw); err != nil {
+		t.Fatal(err)
+	}
+	var (
+		strs     []string
+		nSamples int
+		locIDs   = map[uint64]bool{}
+		funIDs   = map[uint64]bool{}
+	)
+	b := raw.Bytes()
+	for len(b) > 0 {
+		key, n := uvarint(t, b)
+		b = b[n:]
+		field, wire := key>>3, key&7
+		if wire != 2 {
+			t.Fatalf("top-level wire type %d", wire)
+		}
+		ln, n := uvarint(t, b)
+		b = b[n:]
+		payload := b[:ln]
+		b = b[ln:]
+		switch field {
+		case 2:
+			nSamples++
+		case 4:
+			id, n := fieldVarint(t, payload, 1)
+			if n == 0 {
+				t.Fatal("location without id")
+			}
+			locIDs[id] = true
+		case 5:
+			id, n := fieldVarint(t, payload, 1)
+			if n == 0 {
+				t.Fatal("function without id")
+			}
+			funIDs[id] = true
+		case 6:
+			strs = append(strs, string(payload))
+		}
+	}
+	if len(strs) == 0 || strs[0] != "" {
+		t.Fatalf("string table must start with empty string: %q", strs)
+	}
+	if nSamples == 0 {
+		t.Fatal("no samples encoded")
+	}
+	if len(locIDs) != len(funIDs) {
+		t.Fatalf("locations %d vs functions %d", len(locIDs), len(funIDs))
+	}
+}
+
+func uvarint(t *testing.T, b []byte) (uint64, int) {
+	t.Helper()
+	var v uint64
+	for i := 0; i < len(b); i++ {
+		v |= uint64(b[i]&0x7f) << (7 * i)
+		if b[i] < 0x80 {
+			return v, i + 1
+		}
+	}
+	t.Fatal("truncated varint")
+	return 0, 0
+}
+
+// fieldVarint scans a message payload for the first varint field with
+// the given number; returns (value, bytes consumed for it) or (0, 0).
+func fieldVarint(t *testing.T, b []byte, want uint64) (uint64, int) {
+	t.Helper()
+	for len(b) > 0 {
+		key, n := uvarint(t, b)
+		b = b[n:]
+		field, wire := key>>3, key&7
+		switch wire {
+		case 0:
+			v, n := uvarint(t, b)
+			b = b[n:]
+			if field == want {
+				return v, n
+			}
+		case 2:
+			ln, n := uvarint(t, b)
+			b = b[n:]
+			b = b[ln:]
+		default:
+			t.Fatalf("unexpected wire type %d", wire)
+		}
+	}
+	return 0, 0
+}

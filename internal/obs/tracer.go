@@ -213,6 +213,14 @@ func (t *Tracer) Len() int {
 	return t.n
 }
 
+// Cap returns the ring capacity.
+func (t *Tracer) Cap() int {
+	if t == nil {
+		return 0
+	}
+	return len(t.ring)
+}
+
 // Dropped returns how many events the ring evicted.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
