@@ -23,8 +23,25 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (kernel/obs/drivers shard)"
-go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/...
+echo "== go test -race (kernel/obs/drivers/mem shard)"
+go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/... ./internal/mem/...
+
+echo "== docs relative-link check"
+# Every relative link in docs/*.md must resolve (fragment stripped);
+# http(s)/mailto and pure in-page anchors are skipped.
+for f in docs/*.md; do
+    grep -o '](\([^)]*\))' "$f" | sed 's/^](//; s/)$//' | while IFS= read -r link; do
+        case "$link" in
+            http://*|https://*|mailto:*|'#'*) continue ;;
+        esac
+        target=${link%%#*}
+        [ -n "$target" ] || continue
+        if [ ! -e "docs/$target" ]; then
+            echo "$f: dead relative link ($link)" >&2
+            exit 1
+        fi
+    done
+done
 
 echo "== atmo-trace smoke"
 smoke_dir=$(mktemp -d /tmp/atmo-ci-smoke.XXXXXX)
@@ -53,6 +70,14 @@ go run ./cmd/atmo-bench -experiment table3 -json -outdir "$smoke_dir" \
     -check bench_all_reference.txt
 if [ ! -s "$smoke_dir/BENCH_table3.json" ]; then
     echo "atmo-bench: smoke run produced no BENCH_table3.json" >&2
+    exit 1
+fi
+
+echo "== atmo-bench -series multicore smoke"
+go run ./cmd/atmo-bench -series multicore -json -outdir "$smoke_dir" \
+    -check bench_all_reference.txt
+if [ ! -s "$smoke_dir/BENCH_multicore.json" ]; then
+    echo "atmo-bench: smoke run produced no BENCH_multicore.json" >&2
     exit 1
 fi
 

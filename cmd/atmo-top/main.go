@@ -12,6 +12,7 @@
 //	atmo-top -workload chaos -seed 7 -ops 400
 //	atmo-top -workload kvstore -ops 300 -diff
 //	atmo-top -workload ipc -ops 500
+//	atmo-top -workload multicore -cores 4 -ops 200
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"fmt"
 	"os"
 
+	"atmosphere/internal/bench"
 	"atmosphere/internal/drivers"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
@@ -29,19 +31,20 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "kvstore", "workload: kvstore, chaos, ipc")
+	workload := flag.String("workload", "kvstore", "workload: kvstore, chaos, ipc, multicore")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	ops := flag.Int("ops", 300, "operations (kv ops or ipc round trips)")
+	ops := flag.Int("ops", 300, "operations (kv ops or ipc round trips; per-core mmaps for multicore)")
+	cores := flag.Int("cores", 4, "core count for the multicore workload")
 	diff := flag.Bool("diff", false, "show the per-container delta between ops/2 and ops")
 	profileOut := flag.String("profile", "", "also write <prefix>.folded and <prefix>.pb.gz cycle profiles")
 	flag.Parse()
 
-	full, tr, err := run(*workload, *seed, *ops)
+	full, tr, err := run(*workload, *seed, *ops, *cores)
 	if err != nil {
 		fail(err)
 	}
 	if *diff {
-		half, _, err := run(*workload, *seed, *ops/2)
+		half, _, err := run(*workload, *seed, *ops/2, *cores)
 		if err != nil {
 			fail(err)
 		}
@@ -60,11 +63,16 @@ func main() {
 
 // run executes the workload with a fresh ledger + tracer attached and
 // returns both after a final closure audit.
-func run(workload string, seed uint64, ops int) (*account.Ledger, *obs.Tracer, error) {
+func run(workload string, seed uint64, ops, cores int) (*account.Ledger, *obs.Tracer, error) {
 	l := account.NewLedger()
 	tr := obs.NewTracer(0)
 	var err error
 	switch workload {
+	case "multicore":
+		// The alloc sub-workload of the multicore series: per-core page
+		// caches on, so the "page-cache" pseudo-container row shows the
+		// frames parked in per-core caches at the end of the run.
+		_, _, _, err = bench.RunMulticore("alloc", cores, seed, ops, tr, nil, l)
 	case "kvstore":
 		_, err = drivers.RunChaosKV(drivers.ChaosConfig{
 			Seed: seed, Ops: ops, Trace: tr, Ledger: l,
@@ -76,7 +84,7 @@ func run(workload string, seed uint64, ops int) (*account.Ledger, *obs.Tracer, e
 	case "ipc":
 		err = runIPC(l, tr, ops)
 	default:
-		return nil, nil, fmt.Errorf("unknown workload %q (kvstore, chaos, ipc)", workload)
+		return nil, nil, fmt.Errorf("unknown workload %q (kvstore, chaos, ipc, multicore)", workload)
 	}
 	if err != nil {
 		return nil, nil, err

@@ -10,6 +10,7 @@
 //	atmo-trace -workload kvstore -seed 1 -o trace.json
 //	atmo-trace -workload chaos -seed 7 -o trace.json -metrics metrics.txt
 //	atmo-trace -workload ipc -ops 1000 -o trace.json
+//	atmo-trace -workload multicore -cores 4 -o trace.json
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"atmosphere/internal/bench"
 	"atmosphere/internal/drivers"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
@@ -26,9 +28,10 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, chaos, ipc")
+	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, chaos, ipc, multicore")
 	seed := flag.Uint64("seed", 1, "workload seed")
-	ops := flag.Int("ops", 200, "operations (kv ops or ipc round trips)")
+	ops := flag.Int("ops", 200, "operations (kv ops or ipc round trips; per-core for multicore)")
+	cores := flag.Int("cores", 4, "core count for the multicore workload")
 	out := flag.String("o", "trace.json", "Perfetto trace output path")
 	metricsOut := flag.String("metrics", "", "metrics dump output path (empty = skip)")
 	profileOut := flag.String("profile", "", "write <prefix>.folded and <prefix>.pb.gz cycle profiles (empty = skip)")
@@ -48,8 +51,10 @@ func main() {
 			drivers.ChaosConfig{Plan: drivers.DefaultChaosPlan()})
 	case "ipc":
 		totalCycles, err = runIPC(tracer, registry, *ops)
+	case "multicore":
+		totalCycles, err = runMulticore(tracer, registry, *cores, *seed, *ops)
 	default:
-		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc)\n", *workload)
+		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc, multicore)\n", *workload)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -110,6 +115,22 @@ func runKV(t *obs.Tracer, m *obs.Registry, seed uint64, ops int, cfg drivers.Cha
 		return 0, err
 	}
 	return report.TotalCycles, err
+}
+
+// runMulticore traces the multicore scalability series' three
+// sub-workloads back to back on a cores-wide machine: contention-aware
+// big lock, per-core page caches, work stealing — the lock.wait spans
+// show up on every contended core's timeline.
+func runMulticore(t *obs.Tracer, m *obs.Registry, cores int, seed uint64, ops int) (uint64, error) {
+	var total uint64
+	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
+		_, _, tc, err := bench.RunMulticore(wl, cores, seed, ops, t, m, nil)
+		if err != nil {
+			return total, fmt.Errorf("atmo-trace: multicore %s: %w", wl, err)
+		}
+		total += tc
+	}
+	return total, nil
 }
 
 // runIPC traces a bare call/reply ping-pong — the Table 3 microbench

@@ -86,7 +86,30 @@ func All() []Experiment {
 		{"fig7", Fig7KVStore},
 		{"ablation", AblationFlatVsRecursive},
 		{"degraded", DegradedNvmeThroughput},
+		{"multicore", MulticoreScaling},
 	}
+}
+
+// Series groups experiments under a named series for `atmo-bench
+// -series`: "multicore" is the scalability series, "paper" the
+// evaluation tables and figures, "all" everything.
+func Series(name string) ([]Experiment, bool) {
+	switch name {
+	case "all":
+		return All(), true
+	case "multicore":
+		e, _ := ByID("multicore")
+		return []Experiment{e}, true
+	case "paper":
+		var out []Experiment
+		for _, e := range All() {
+			if e.ID != "multicore" {
+				out = append(out, e)
+			}
+		}
+		return out, true
+	}
+	return nil, false
 }
 
 // ByID finds an experiment.

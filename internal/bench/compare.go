@@ -74,7 +74,7 @@ func ParseReference(r io.Reader) (Reference, error) {
 // Gate direction per unit. Everything else is skipped.
 var (
 	lowerIsBetter  = map[string]bool{"cycles": true}
-	higherIsBetter = map[string]bool{"Mpps": true, "IOPS": true, "Kreq/s": true, "Mreq/s": true}
+	higherIsBetter = map[string]bool{"Mpps": true, "IOPS": true, "Kreq/s": true, "Mreq/s": true, "Mops/s": true}
 )
 
 // CompareToReference checks results against ref and returns one line

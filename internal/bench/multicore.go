@@ -1,0 +1,345 @@
+package bench
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash"
+	"hash/fnv"
+
+	"atmosphere/internal/apps"
+	"atmosphere/internal/hw"
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
+	"atmosphere/internal/pm"
+	"atmosphere/internal/pt"
+)
+
+// The multicore scalability series (the `-series multicore` run):
+// throughput of three workloads at 1/2/4/8 cores under the contention-
+// aware big lock, the per-core page-frame caches, and work stealing.
+// The paper's Atmosphere deliberately ships a big-lock kernel (§3,
+// §7.2); this series shows exactly what that costs — IPC, which lives
+// entirely under the lock, stays flat, while allocation and the
+// kv-store, whose zeroing and user compute run outside the lock,
+// scale until the serialized remainder saturates (Amdahl's law on the
+// lock hold time).
+//
+// Everything is a pure function of the cycle model and mcSeed: same
+// seed, same core count ⇒ the same trace, byte for byte, which
+// multicore_test.go pins per core.
+
+const (
+	// mcSeed seeds the deterministic workload generators.
+	mcSeed = 42
+	// mcBatch is the per-core page cache refill batch.
+	mcBatch       = 32
+	mcIPCRounds   = 400 // call/reply round trips per core
+	mcKVRounds    = 256 // kv batches per core (8 set/get pairs each)
+	mcKVBatch     = 8   // set/get pairs per batch
+	mcKVYield     = 4   // batches between SysYield kernel crossings
+	mcAllocPages  = 300 // 4 KiB pages mapped per core
+	mcAllocVABase = 0x4000_0000
+	mcAllocVAStep = 0x1000_0000 // per-core VA region stride
+)
+
+var mcCores = []int{1, 2, 4, 8}
+
+// MulticoreScaling measures simulated throughput of the ipc, kvstore,
+// and alloc workloads across core counts.
+func MulticoreScaling() (Result, error) {
+	res := Result{
+		ID:    "multicore",
+		Title: "Multicore scalability under the contention-aware big lock (simulated)",
+		Notes: []string{
+			"ipc = call/reply ping-pong per core (fully lock-held: the big-lock ceiling)",
+			"kvstore = per-core table compute with periodic yields; alloc = 4 KiB mmap via per-core page caches",
+			"throughput = ops x 2.2 GHz / max per-core cycles; deterministic, seed " + fmt.Sprint(mcSeed),
+		},
+	}
+	type speedup struct{ one, four float64 }
+	ups := map[string]*speedup{}
+	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
+		ups[wl] = &speedup{}
+		for _, n := range mcCores {
+			ops, wall, err := runMulticore(wl, n, mcSeed)
+			if err != nil {
+				return Result{}, fmt.Errorf("bench: multicore %s %dc: %w", wl, n, err)
+			}
+			if wall == 0 {
+				return Result{}, fmt.Errorf("bench: multicore %s %dc ran for zero cycles", wl, n)
+			}
+			mops := float64(ops) * hw.ClockHz / float64(wall) / 1e6
+			res.Rows = append(res.Rows, Row{
+				Name:  fmt.Sprintf("%s %dc", wl, n),
+				Value: mops,
+				Unit:  "Mops/s",
+			})
+			switch n {
+			case 1:
+				ups[wl].one = mops
+			case 4:
+				ups[wl].four = mops
+			}
+		}
+	}
+	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
+		if u := ups[wl]; u.one > 0 {
+			res.Notes = append(res.Notes,
+				fmt.Sprintf("%s 4-core speedup: %.2fx over 1 core", wl, u.four/u.one))
+		}
+	}
+	return res, nil
+}
+
+// RunMulticore runs one sub-workload of the multicore series ("ipc",
+// "kvstore", "alloc") on a cores-wide machine with the given
+// observability sinks attached (any may be nil), for the CLIs. perCore
+// scales the per-core operation count; <= 0 selects the series
+// defaults. Returns (operations completed, simulated wall-clock cycles,
+// total cycles summed across cores).
+func RunMulticore(workload string, cores int, seed uint64, perCore int,
+	tr *obs.Tracer, reg *obs.Registry, led *account.Ledger) (ops, wall, total uint64, err error) {
+	savedT, savedM, savedL := benchTracer, benchMetrics, benchLedger
+	benchTracer, benchMetrics, benchLedger = tr, reg, led
+	defer func() { benchTracer, benchMetrics, benchLedger = savedT, savedM, savedL }()
+	return runMulticoreN(workload, cores, seed, perCore)
+}
+
+// runMulticore runs a workload at the series' default sizing.
+func runMulticore(workload string, n int, seed uint64) (ops, wall uint64, err error) {
+	ops, wall, _, err = runMulticoreN(workload, n, seed, 0)
+	return ops, wall, err
+}
+
+// runMulticoreN boots an n-core kernel with contention, per-core
+// caches, and work stealing enabled, runs one workload driving all
+// cores in lock step, and returns (operations completed, simulated
+// wall-clock cycles = max per-core cycle delta, total cycles across
+// cores).
+func runMulticoreN(workload string, n int, seed uint64, perCore int) (ops, wall, total uint64, err error) {
+	ipcRounds, kvRounds, allocPages := mcIPCRounds, mcKVRounds, mcAllocPages
+	if perCore > 0 {
+		ipcRounds = perCore
+		kvRounds = (perCore + 2*mcKVBatch - 1) / (2 * mcKVBatch)
+		allocPages = perCore
+		if allocPages > 1024 {
+			allocPages = 1024 // stay within the 16384-frame machine at 8 cores
+		}
+	}
+
+	k, init, err := kernel.Boot(hw.Config{Frames: 16384, Cores: n, TLBSlots: 256})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	attachObs(k)
+	k.EnableCoreCaches(mcBatch)
+	k.PM.EnableWorkStealing()
+
+	// One worker thread per core.
+	workers := make([]pm.Ptr, n)
+	for c := 0; c < n; c++ {
+		r := k.SysNewThread(0, init, c)
+		if r.Errno != kernel.OK {
+			return 0, 0, 0, fmt.Errorf("new_thread core %d: %v", c, r.Errno)
+		}
+		workers[c] = pm.Ptr(r.Vals[0])
+	}
+
+	var run func() (uint64, error)
+	switch workload {
+	case "ipc":
+		run, err = mcSetupIPC(k, init, workers, seed, ipcRounds)
+	case "kvstore":
+		run, err = mcSetupKV(k, workers, seed, kvRounds)
+	case "alloc":
+		run, err = mcSetupAlloc(k, workers, allocPages)
+	default:
+		return 0, 0, 0, fmt.Errorf("unknown multicore workload %q", workload)
+	}
+	if err != nil {
+		return 0, 0, 0, err
+	}
+
+	// Setup ran uncontended from core 0 and skewed the clocks; align
+	// them so "all cores start now" holds, then arm the contention
+	// model. From here every syscall pays its deterministic lock wait.
+	aligned := alignCores(k, n)
+	k.EnableContention()
+
+	ops, err = run()
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return ops, k.Machine.MaxCycles() - aligned, k.Machine.TotalCycles(), nil
+}
+
+// alignCores advances every core clock to the maximum across cores and
+// returns that value — the series' common start line.
+func alignCores(k *kernel.Kernel, n int) uint64 {
+	var mx uint64
+	for c := 0; c < n; c++ {
+		if cy := k.Machine.Core(c).Clock.Cycles(); cy > mx {
+			mx = cy
+		}
+	}
+	for c := 0; c < n; c++ {
+		clk := &k.Machine.Core(c).Clock
+		clk.Charge(mx - clk.Cycles())
+	}
+	return mx
+}
+
+// mcSetupIPC builds a per-core call/reply ping-pong: each core gets a
+// client (the worker), a server thread, and a private endpoint, and one
+// operation is a full round trip. The entire round trip executes under
+// the big lock, so this workload cannot scale — it is the series'
+// control.
+func mcSetupIPC(k *kernel.Kernel, init pm.Ptr, workers []pm.Ptr, seed uint64, rounds int) (func() (uint64, error), error) {
+	n := len(workers)
+	servers := make([]pm.Ptr, n)
+	for c := 0; c < n; c++ {
+		r := k.SysNewThread(0, init, c)
+		if r.Errno != kernel.OK {
+			return nil, fmt.Errorf("ipc server core %d: %v", c, r.Errno)
+		}
+		servers[c] = pm.Ptr(r.Vals[0])
+		re := k.SysNewEndpoint(0, init, c)
+		if re.Errno != kernel.OK {
+			return nil, fmt.Errorf("ipc endpoint core %d: %v", c, re.Errno)
+		}
+		ep := pm.Ptr(re.Vals[0])
+		k.PM.Thrd(workers[c]).Endpoints[0] = ep
+		k.PM.Thrd(servers[c]).Endpoints[0] = ep
+		k.PM.EndpointIncRef(ep, 2)
+		if r := k.SysRecv(c, servers[c], 0, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
+			return nil, fmt.Errorf("ipc park core %d: %v", c, r.Errno)
+		}
+	}
+	return func() (uint64, error) {
+		var ops uint64
+		for i := 0; i < rounds; i++ {
+			for c := 0; c < n; c++ {
+				msg := mcMix(seed ^ uint64(i)<<8 ^ uint64(c))
+				if r := k.SysCall(c, workers[c], 0, kernel.SendArgs{Regs: [4]uint64{msg}}); r.Errno != kernel.EWOULDBLOCK {
+					return ops, fmt.Errorf("ipc call core %d round %d: %v", c, i, r.Errno)
+				}
+				if r := k.SysReplyRecv(c, servers[c], 0, kernel.SendArgs{}, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
+					return ops, fmt.Errorf("ipc reply_recv core %d round %d: %v", c, i, r.Errno)
+				}
+				ops++
+			}
+		}
+		return ops, nil
+	}, nil
+}
+
+// mcSetupKV gives each core a private kv table; one batch is mcKVBatch
+// set/get pairs charged to the core's own clock (user compute, outside
+// the lock) with a SysYield kernel crossing every mcKVYield batches.
+// One operation is one served request (a set or a get).
+func mcSetupKV(k *kernel.Kernel, workers []pm.Ptr, seed uint64, rounds int) (func() (uint64, error), error) {
+	n := len(workers)
+	stores := make([]*apps.KVStore, n)
+	for c := 0; c < n; c++ {
+		kv, err := apps.NewKVStore(1<<13, 8, 16)
+		if err != nil {
+			return nil, err
+		}
+		stores[c] = kv
+	}
+	// Pre-mix the seed so nearby seeds produce disjoint key sets; a raw
+	// `seed ^ index` only permutes one key set when the index range
+	// covers the low bits, and linear probing's aggregate cost is
+	// insertion-order independent.
+	base := mcMix(seed)
+	return func() (uint64, error) {
+		var ops uint64
+		var key [8]byte
+		var val [16]byte
+		for i := 0; i < rounds; i++ {
+			for c := 0; c < n; c++ {
+				clk := &k.Machine.Core(c).Clock
+				for j := 0; j < mcKVBatch; j++ {
+					h := mcMix(base ^ uint64(c)<<32 ^ uint64(i*mcKVBatch+j))
+					binary.LittleEndian.PutUint64(key[:], h)
+					binary.LittleEndian.PutUint64(val[:], h^seed)
+					binary.LittleEndian.PutUint64(val[8:], h+seed)
+					if !stores[c].Set(clk, key[:], val[:]) {
+						return ops, fmt.Errorf("kv set overflow core %d", c)
+					}
+					stores[c].Get(clk, key[:])
+					ops += 2
+				}
+				if i%mcKVYield == mcKVYield-1 {
+					if r := k.SysYield(c, workers[c]); r.Errno != kernel.OK {
+						return ops, fmt.Errorf("kv yield core %d round %d: %v", c, i, r.Errno)
+					}
+				}
+			}
+		}
+		return ops, nil
+	}, nil
+}
+
+// mcSetupAlloc maps fresh 4 KiB pages, one per operation, each core in
+// its own VA region. With per-core caches on, the page zero and the
+// hand-out run outside the lock; only the batched refill and the
+// page-table update serialize.
+func mcSetupAlloc(k *kernel.Kernel, workers []pm.Ptr, pages int) (func() (uint64, error), error) {
+	n := len(workers)
+	return func() (uint64, error) {
+		var ops uint64
+		for i := 0; i < pages; i++ {
+			for c := 0; c < n; c++ {
+				va := hw.VirtAddr(mcAllocVABase + c*mcAllocVAStep + i*hw.PageSize4K)
+				if r := k.SysMmap(c, workers[c], va, 1, hw.Size4K, pt.RW); r.Errno != kernel.OK {
+					return ops, fmt.Errorf("alloc mmap core %d page %d: %v", c, i, r.Errno)
+				}
+				ops++
+			}
+		}
+		return ops, nil
+	}, nil
+}
+
+// mcMix is a SplitMix64-style finalizer: the series' deterministic
+// stand-in for randomness.
+func mcMix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// perCoreTraceHashes folds a tracer's event stream into one FNV-1a hash
+// per core, keyed by each track's Perfetto pid (the core number).
+// Machine-wide tracks (obs.MachinePID) are skipped. The determinism
+// test compares these across repeated same-seed runs.
+func perCoreTraceHashes(tr *obs.Tracer, cores int) []uint64 {
+	hs := make([]uint64, cores)
+	sums := make([]hash.Hash64, cores)
+	for c := range sums {
+		sums[c] = fnv.New64a()
+	}
+	tracks := tr.Tracks()
+	var buf [8 * 5]byte
+	for _, e := range tr.Events() {
+		pid := tracks[e.Track].PID
+		if pid < 0 || pid >= cores {
+			continue
+		}
+		binary.LittleEndian.PutUint64(buf[0:], uint64(e.Kind)<<32|uint64(uint32(e.Name)))
+		binary.LittleEndian.PutUint64(buf[8:], uint64(e.Track))
+		binary.LittleEndian.PutUint64(buf[16:], e.TS)
+		binary.LittleEndian.PutUint64(buf[24:], e.Dur)
+		binary.LittleEndian.PutUint64(buf[32:], e.Arg)
+		sums[pid].Write(buf[:])
+	}
+	for c := range sums {
+		hs[c] = sums[c].Sum64()
+	}
+	return hs
+}

@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"testing"
+
+	"atmosphere/internal/obs"
+)
+
+// mcThroughput runs one multicore workload and returns ops per cycle of
+// simulated wall clock (unit-free; ratios of these are speedups).
+func mcThroughput(t *testing.T, workload string, cores int) float64 {
+	t.Helper()
+	ops, wall, err := runMulticore(workload, cores, mcSeed)
+	if err != nil {
+		t.Fatalf("%s %dc: %v", workload, cores, err)
+	}
+	if ops == 0 || wall == 0 {
+		t.Fatalf("%s %dc: degenerate run (ops %d, wall %d)", workload, cores, ops, wall)
+	}
+	return float64(ops) / float64(wall)
+}
+
+// The acceptance gate of the series: workloads whose hot work runs
+// outside the big lock (kvstore compute, alloc zeroing) must scale
+// >1.5x at 4 cores, while IPC — entirely lock-held — must stay flat,
+// demonstrating the big-lock ceiling rather than hiding it.
+func TestMulticoreScaling(t *testing.T) {
+	for _, wl := range []string{"kvstore", "alloc"} {
+		one := mcThroughput(t, wl, 1)
+		four := mcThroughput(t, wl, 4)
+		if s := four / one; s <= 1.5 {
+			t.Errorf("%s speedup at 4 cores = %.2fx, want > 1.5x", wl, s)
+		}
+	}
+	one := mcThroughput(t, "ipc", 1)
+	four := mcThroughput(t, "ipc", 4)
+	if s := four / one; s < 0.9 || s > 1.1 {
+		t.Errorf("ipc speedup at 4 cores = %.2fx, want ~1x (fully serialized)", s)
+	}
+}
+
+// mcRunTraced runs every workload at the given core count into a fresh
+// tracer and returns (per-core event hashes, total ops, total wall).
+func mcRunTraced(t *testing.T, cores int, seed uint64) ([]uint64, uint64, uint64) {
+	t.Helper()
+	tr := obs.NewTracer(1 << 16)
+	savedT, savedM := benchTracer, benchMetrics
+	SetObs(tr, nil)
+	defer SetObs(savedT, savedM)
+	var ops, wall uint64
+	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
+		o, w, err := runMulticore(wl, cores, seed)
+		if err != nil {
+			t.Fatalf("%s %dc: %v", wl, cores, err)
+		}
+		ops += o
+		wall += w
+	}
+	return perCoreTraceHashes(tr, cores), ops, wall
+}
+
+// Same seed, same core count: repeated runs must produce byte-identical
+// per-core traces at every core count in the series — the contention
+// model, the per-core caches, and work stealing are all deterministic.
+// A different seed must perturb at least one core's trace, or the hash
+// would be proving nothing.
+func TestMulticoreCrossCoreDeterminism(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8} {
+		h1, ops1, wall1 := mcRunTraced(t, n, mcSeed)
+		h2, ops2, wall2 := mcRunTraced(t, n, mcSeed)
+		if ops1 != ops2 || wall1 != wall2 {
+			t.Fatalf("%dc: same seed diverged: ops %d vs %d, wall %d vs %d", n, ops1, ops2, wall1, wall2)
+		}
+		for c := range h1 {
+			if h1[c] != h2[c] {
+				t.Errorf("%dc: core %d trace hash differs across same-seed runs: %016x vs %016x", n, c, h1[c], h2[c])
+			}
+		}
+		h3, _, _ := mcRunTraced(t, n, mcSeed+1)
+		same := true
+		for c := range h1 {
+			if h1[c] != h3[c] {
+				same = false
+			}
+		}
+		if same {
+			t.Errorf("%dc: changing the seed left every per-core hash identical — hashes insensitive", n)
+		}
+	}
+}
+
+// Observability must stay free on the multicore paths too: attaching a
+// tracer may not move a single cycle of any workload's simulated wall
+// clock.
+func TestTracingIsFreeMulticore(t *testing.T) {
+	savedT, savedM := benchTracer, benchMetrics
+	defer SetObs(savedT, savedM)
+	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
+		SetObs(nil, nil)
+		opsOff, wallOff, err := runMulticore(wl, 4, mcSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr := obs.NewTracer(1 << 16)
+		SetObs(tr, obs.NewRegistry())
+		opsOn, wallOn, err := runMulticore(wl, 4, mcSeed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opsOn != opsOff || wallOn != wallOff {
+			t.Errorf("%s: tracing moved the run: ops %d->%d, wall %d->%d", wl, opsOff, opsOn, wallOff, wallOn)
+		}
+		if tr.Len() == 0 {
+			t.Errorf("%s: tracer attached but recorded nothing", wl)
+		}
+	}
+}

@@ -25,7 +25,11 @@ const (
 	// fastpath does.
 	CostSyscallDispatch = 150
 	// CostBigLock prices acquiring and releasing the kernel big lock
-	// (§3) on an uncontended cache-hot path.
+	// (§3) on an uncontended cache-hot path. This is deliberately the
+	// *uncontended* cost — what a single-core run pays; contention is
+	// not a constant but a function of concurrent holders, derived
+	// deterministically by LockSim (lock.go) and charged on top when
+	// the contention model is enabled.
 	CostBigLock = 40
 	// CostContextSwitch prices a full thread context switch: register
 	// file save/restore, CR3 reload, and the direct-cost part of the
@@ -59,6 +63,10 @@ const (
 	// CostSchedPick prices the scheduler picking the next runnable
 	// thread.
 	CostSchedPick = 60
+	// CostSchedSteal prices a work-stealing migration: scanning the
+	// victim queues, the cross-core cache transfer of the stolen
+	// thread's state, and the queue relinking.
+	CostSchedSteal = 250
 	// CostDirectSwitch prices the IPC fastpath's direct handoff to the
 	// partner thread (register windows only; no scheduler, no full
 	// context save).

@@ -1,0 +1,79 @@
+package hw
+
+// LockSim is the deterministic contention model of the kernel big lock
+// (§3). The real kernel serializes every syscall through one mutex; on
+// real hardware a core arriving while another holds the lock spins, and
+// those spin cycles are what keep a big-lock kernel from scaling. The
+// simulation reproduces that cost as a pure function of the per-core
+// virtual clocks: the lock keeps a monotone *frontier* — the global
+// cycle timestamp at which the last holder released — and an arriving
+// core whose clock reads earlier than the frontier waits exactly the
+// difference. This is a conservative FIFO (ticket-lock) arbiter: cores
+// are served in arrival order of their virtual timestamps, ties resolved
+// by the program's (deterministic) call order.
+//
+// The model is opt-in (Enable). It interprets per-core clock readings as
+// timestamps on one global timeline, which is only meaningful for
+// workloads that drive cores in lock-step from aligned clocks (the
+// multicore scalability series, cross-core tests). Legacy single-core
+// benchmarks and tests that issue occasional syscalls from skewed cores
+// keep the uncontended model: a disabled LockSim charges nothing, so
+// every pre-existing number is bit-identical.
+type LockSim struct {
+	enabled bool
+	freeAt  uint64 // frontier: global cycle at which the lock is next free
+
+	acquisitions uint64
+	contended    uint64
+	waitCycles   uint64
+}
+
+// Enable turns the contention model on. Off (the zero value), Acquire
+// and Release are no-ops and the lock costs only CostBigLock.
+func (l *LockSim) Enable() {
+	if l != nil {
+		l.enabled = true
+	}
+}
+
+// Enabled reports whether the contention model is active.
+func (l *LockSim) Enabled() bool { return l != nil && l.enabled }
+
+// Acquire records a lock acquisition by a core whose clock reads arrival
+// and returns the wait cycles the core must charge before it holds the
+// lock: max(0, frontier - arrival). Disabled, it returns 0.
+func (l *LockSim) Acquire(arrival uint64) uint64 {
+	if l == nil || !l.enabled {
+		return 0
+	}
+	l.acquisitions++
+	if l.freeAt <= arrival {
+		return 0
+	}
+	wait := l.freeAt - arrival
+	l.contended++
+	l.waitCycles += wait
+	return wait
+}
+
+// Release advances the frontier to heldUntil — the global cycle at which
+// the holder let go (its arrival + wait + the cycles it spent under the
+// lock). The frontier is monotone: a release in the past (possible when
+// a core's clock lags the frontier's previous holder) leaves it alone.
+func (l *LockSim) Release(heldUntil uint64) {
+	if l == nil || !l.enabled {
+		return
+	}
+	if heldUntil > l.freeAt {
+		l.freeAt = heldUntil
+	}
+}
+
+// Stats reports (acquisitions, contended acquisitions, total wait
+// cycles) since Enable.
+func (l *LockSim) Stats() (acquisitions, contended, waitCycles uint64) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	return l.acquisitions, l.contended, l.waitCycles
+}

@@ -1,0 +1,52 @@
+package hw
+
+import "testing"
+
+// Disabled, the arbiter charges nothing — the legacy uncontended model.
+func TestLockSimDisabledIsFree(t *testing.T) {
+	var l LockSim
+	if w := l.Acquire(0); w != 0 {
+		t.Fatalf("disabled Acquire waited %d", w)
+	}
+	l.Release(1000)
+	if w := l.Acquire(10); w != 0 {
+		t.Fatalf("disabled Acquire after Release waited %d", w)
+	}
+	if acq, _, _ := l.Stats(); acq != 0 {
+		t.Fatalf("disabled lock counted %d acquisitions", acq)
+	}
+	var nilLock *LockSim
+	if w := nilLock.Acquire(0); w != 0 {
+		t.Fatalf("nil Acquire waited %d", w)
+	}
+	nilLock.Release(5) // must not panic
+}
+
+// Enabled, waits are exactly the frontier gap and the frontier is
+// monotone.
+func TestLockSimFrontier(t *testing.T) {
+	var l LockSim
+	l.Enable()
+	if w := l.Acquire(100); w != 0 {
+		t.Fatalf("first acquire waited %d", w)
+	}
+	l.Release(600) // held [100, 600)
+	if w := l.Acquire(200); w != 400 {
+		t.Fatalf("contended acquire waited %d, want 400", w)
+	}
+	l.Release(700)
+	// A release in the past must not move the frontier backwards.
+	l.Release(50)
+	if w := l.Acquire(650); w != 50 {
+		t.Fatalf("acquire after stale release waited %d, want 50", w)
+	}
+	l.Release(800)
+	// An arrival after the frontier pays nothing.
+	if w := l.Acquire(900); w != 0 {
+		t.Fatalf("late acquire waited %d", w)
+	}
+	acq, contended, wait := l.Stats()
+	if acq != 4 || contended != 2 || wait != 450 {
+		t.Fatalf("stats = (%d, %d, %d), want (4, 2, 450)", acq, contended, wait)
+	}
+}

@@ -121,11 +121,20 @@ func (k *Kernel) SysIrqWait(core int, tid pm.Ptr, irq int) Ret {
 // edge. Devices call it with the core the interrupt targets.
 func (k *Kernel) RaiseIRQ(core int, irq int) {
 	k.big.Lock()
+	cclk := &k.Machine.Core(core).Clock
+	// Interrupt dispatch contends for the big lock like a syscall does
+	// (§3: interrupts serialize too); all of its work is lock-held.
+	arrival := cclk.Cycles()
+	if wait := k.lock.Acquire(arrival); wait > 0 {
+		cclk.Charge(wait)
+		k.lockWait(core, arrival, wait)
+	}
 	start := k.kclock.Cycles()
-	base := k.Machine.Core(core).Clock.Cycles()
+	base := cclk.Cycles()
 	defer func() {
 		k.noteIRQ(core, irq, base, k.kclock.Cycles()-start)
-		k.Machine.Core(core).Clock.Charge(k.kclock.Cycles() - start)
+		cclk.Charge(k.kclock.Cycles() - start)
+		k.lock.Release(cclk.Cycles())
 		k.big.Unlock()
 	}()
 	if k.IRQFilter != nil && !k.IRQFilter(core, irq) {

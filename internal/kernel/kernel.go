@@ -94,6 +94,24 @@ type Kernel struct {
 	// big lock: all syscalls and interrupts serialize (§3).
 	big sync.Mutex
 
+	// lock is the deterministic contention model of the big lock: when
+	// enabled (EnableContention), each entry charges the invoking core
+	// the wait implied by concurrent holders' virtual clocks. Disabled
+	// (the default), only the uncontended CostBigLock is paid.
+	lock hw.LockSim
+
+	// local accumulates, per syscall, the cycles spent on work that a
+	// real multicore kernel performs outside the big lock — per-core
+	// page-cache hand-outs and take-backs (zeroing included). The leave
+	// closure subtracts it from the lock hold time it reports to the
+	// contention model, so local work overlaps across cores.
+	local uint64
+
+	// caches, when non-nil (EnableCoreCaches), are the per-core
+	// page-frame caches the hot mmap/munmap 4 KiB path allocates
+	// through.
+	caches *mem.CoreCaches
+
 	// kclock is the clock substrates charge to; syscall exit moves the
 	// delta onto the invoking core's clock.
 	kclock *hw.Clock
@@ -180,7 +198,17 @@ func (k *Kernel) enterFast(core int) (leave func()) {
 
 func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 	k.big.Lock()
+	cclk := &k.Machine.Core(core).Clock
+	// Contention: a core arriving while the (virtual) lock is held spins
+	// until the frontier — pure wait, charged to the core alone, visible
+	// as a lock.wait span. CostBigLock below stays the uncontended cost.
+	arrival := cclk.Cycles()
+	if wait := k.lock.Acquire(arrival); wait > 0 {
+		cclk.Charge(wait)
+		k.lockWait(core, arrival, wait)
+	}
 	start := k.kclock.Cycles()
+	k.local = 0
 	if k.obs != nil {
 		k.obs.enter(k, core, start)
 	}
@@ -199,9 +227,52 @@ func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 			k.ledger.SetContext(0)
 			k.lcntr = 0
 		}
-		k.Machine.Core(core).Clock.Charge(delta)
+		cclk.Charge(delta)
+		// The core-local share (page-cache hand-outs) does not extend
+		// the hold time other cores observe.
+		k.lock.Release(cclk.Cycles() - k.local)
 		k.big.Unlock()
 	}
+}
+
+// EnableContention turns on the deterministic big-lock contention model
+// (hw.LockSim). Meaningful only for workloads that drive cores in
+// lock-step from aligned clocks — the multicore scalability series;
+// legacy single-core benchmarks keep the uncontended model.
+func (k *Kernel) EnableContention() {
+	k.big.Lock()
+	defer k.big.Unlock()
+	k.lock.Enable()
+}
+
+// LockStats reports the contention model's (acquisitions, contended
+// acquisitions, total wait cycles); zeros while disabled.
+func (k *Kernel) LockStats() (acquisitions, contended, waitCycles uint64) {
+	return k.lock.Stats()
+}
+
+// EnableCoreCaches routes the hot 4 KiB user-page allocation path
+// through per-core page-frame caches refilled batch frames at a time —
+// the split that takes zeroing and hand-out off the big lock's critical
+// path. Call after Boot, before issuing syscalls.
+func (k *Kernel) EnableCoreCaches(batch int) {
+	k.big.Lock()
+	defer k.big.Unlock()
+	k.caches = mem.NewCoreCaches(k.Alloc, k.Machine.NumCores(), batch)
+}
+
+// CoreCaches returns the per-core page-frame caches (nil unless
+// EnableCoreCaches ran).
+func (k *Kernel) CoreCaches() *mem.CoreCaches { return k.caches }
+
+// PageCachePages returns the kernel's own view of the frames parked in
+// per-core caches — what verify.MemoryWF compares against the
+// allocator's OwnerPCache closure. Empty when caches are disabled.
+func (k *Kernel) PageCachePages() mem.PageSet {
+	if k.caches == nil {
+		return mem.NewPageSet()
+	}
+	return k.caches.Pages()
 }
 
 // callerThread validates the invoking thread pointer. A blocked thread

@@ -26,15 +26,18 @@ type kobs struct {
 	ktracks []obs.TrackID // per-core "kernel" span track
 	itracks []obs.TrackID // per-core "irq" span track
 
-	nKernel obs.NameID // fallback span name for unnamed entries
-	nIRQ    obs.NameID
-	nDirect obs.NameID // direct-switch instant
-	nCtx    obs.NameID // context-switch instant
+	nKernel   obs.NameID // fallback span name for unnamed entries
+	nIRQ      obs.NameID
+	nDirect   obs.NameID // direct-switch instant
+	nCtx      obs.NameID // context-switch instant
+	nLockWait obs.NameID // big-lock contention span
 
-	cDirect  *obs.Counter
-	cCtx     *obs.Counter
-	cIRQ     *obs.Counter
-	cIRQDrop *obs.Counter
+	cDirect   *obs.Counter
+	cCtx      *obs.Counter
+	cIRQ      *obs.Counter
+	cIRQDrop  *obs.Counter
+	cLockWait *obs.Counter
+	hLockWait *obs.Histogram
 
 	// Per-syscall counters/histograms, interned on first use.
 	sysStats map[string]*sysStat
@@ -81,12 +84,16 @@ func (k *Kernel) AttachObs(t *obs.Tracer, m *obs.Registry) {
 		o.nIRQ = t.Name("irq")
 		o.nDirect = t.Name("direct-switch")
 		o.nCtx = t.Name("ctx-switch")
+		o.nLockWait = t.Name("lock.wait")
 	}
 	if m != nil {
 		o.cDirect = m.Counter("sched.direct_switch")
 		o.cCtx = m.Counter("sched.ctx_switch")
 		o.cIRQ = m.Counter("irq.raised")
 		o.cIRQDrop = m.Counter("irq.dropped")
+		o.cLockWait = m.Counter("lock.wait.count")
+		o.hLockWait = m.Histogram("lock.wait.cycles", nil)
+		m.Gauge("sched.steals", k.PM.Steals)
 		o.sysStats = make(map[string]*sysStat)
 		if t != nil {
 			// Ring health: drop-oldest truncation is silent on the trace
@@ -186,6 +193,23 @@ func (k *Kernel) noteSwitch(direct bool, to pm.Ptr) {
 	} else {
 		o.cCtx.Inc()
 	}
+}
+
+// lockWait records one contended big-lock acquisition: a "lock.wait"
+// span on the core's kernel track covering exactly the spin — [arrival,
+// arrival+wait) on the core's own timeline, immediately preceding the
+// syscall span the wait delayed — plus count and cycle-distribution
+// metrics.
+func (k *Kernel) lockWait(core int, arrival, wait uint64) {
+	o := k.obs
+	if o == nil {
+		return
+	}
+	if o.trace != nil {
+		o.trace.SpanArg(o.ktracks[core], o.nLockWait, arrival, arrival+wait, wait)
+	}
+	o.cLockWait.Inc()
+	o.hLockWait.Observe(wait)
 }
 
 // noteIRQ records one dispatched interrupt as a span on the target

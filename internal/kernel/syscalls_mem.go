@@ -81,7 +81,7 @@ func (k *Kernel) SysMmap(core int, tid pm.Ptr, va hw.VirtAddr, count int, size h
 			rollback()
 			return k.post("mmap", tid, fail(EQUOTA))
 		}
-		phys, err := k.allocUser(size)
+		phys, err := k.allocUser(core, size)
 		if err != nil {
 			k.PM.CreditPages(cntr, pagesIn4K(size))
 			rollback()
@@ -111,8 +111,19 @@ func (k *Kernel) SysMmap(core int, tid pm.Ptr, va hw.VirtAddr, count int, size h
 // allocUser hands out a user page of the requested size, merging free
 // 4 KiB pages into a superpage on demand (§4.2: the allocator scans the
 // page array and unlinks constituents in constant time via the metadata
-// back pointers).
-func (k *Kernel) allocUser(size hw.PageSize) (hw.PhysAddr, error) {
+// back pointers). With per-core caches enabled, the hot 4 KiB path goes
+// through the invoking core's cache instead; the hand-out's cycles
+// (pop + deferred zero) count as core-local work that does not extend
+// the big-lock hold time the contention model reports.
+func (k *Kernel) allocUser(core int, size hw.PageSize) (hw.PhysAddr, error) {
+	if size == hw.Size4K && k.caches != nil {
+		phys, local, err := k.caches.AllocUser4K(core)
+		if err != nil {
+			return 0, err
+		}
+		k.local += local
+		return phys, nil
+	}
 	switch size {
 	case hw.Size2M:
 		if k.Alloc.FreeCount2M() == 0 {
@@ -161,13 +172,32 @@ func (k *Kernel) SysMunmap(core int, tid pm.Ptr, va hw.VirtAddr, count int, size
 		if err != nil {
 			panic(err) // validated above; kernel invariant if it fires
 		}
-		if _, err := k.Alloc.DecRef(e.Phys); err != nil {
-			panic(err)
-		}
+		k.freeUser(core, e.Phys, size)
 		k.PM.CreditPages(proc.Owner, pagesIn4K(size))
 		k.shootdown(core, table.CR3(), dst, size)
 	}
 	return k.post("munmap", tid, ok())
+}
+
+// freeUser releases one mapping reference from an unmap on core. The
+// hot case — a 4 KiB page at its last reference, caches enabled — parks
+// the frame in the core's page cache (core-local work); everything else
+// takes the global DecRef path. Teardown paths (unmapAll, rollback)
+// keep plain DecRef: they have no natural core.
+func (k *Kernel) freeUser(core int, phys hw.PhysAddr, size hw.PageSize) {
+	if k.caches != nil && size == hw.Size4K {
+		if rc, err := k.Alloc.RefCount(phys); err == nil && rc == 1 {
+			local, err := k.caches.FreeUser4K(core, phys)
+			if err != nil {
+				panic(err)
+			}
+			k.local += local
+			return
+		}
+	}
+	if _, err := k.Alloc.DecRef(phys); err != nil {
+		panic(err)
+	}
 }
 
 // shootdown performs the TLB maintenance an unmap architecturally

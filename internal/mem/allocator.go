@@ -1,3 +1,21 @@
+// Package mem implements the Atmosphere page allocator (§4.2): a
+// Linux-style page metadata array with intrusive doubly-linked free
+// lists at 4 KiB / 2 MiB / 1 GiB granularity, constant-time unlink via
+// back pointers, superpage merge/split, and an explicit abstract state
+// (Snapshot) the verifier quantifies over. Every page is in exactly one
+// lifecycle state (free / mapped / merged / allocated), and every
+// transition between states emits exactly one PageOp to the optional
+// PageObserver — the accounting ledger's live feed — so ownership can be
+// mirrored without scanning.
+//
+// CoreCaches (percore.go) adds per-core page-frame caches over one
+// shared Allocator: the multicore fast path that takes the hot 4 KiB
+// user-page allocation out from under the kernel big lock. Cached
+// frames stay visible to the closure accounting as OwnerPCache.
+//
+// Observer contract: the PageObserver is synchronous, must never call
+// back into the allocator, and is charged zero cycles — attaching one
+// cannot move a benchmark number (bench.TestTracingIsFree pins this).
 package mem
 
 import (
@@ -36,6 +54,17 @@ const (
 	OpDecRef
 	// OpFreeUser: a mapped page lost its last reference and was freed.
 	OpFreeUser
+	// OpCacheFill: a free 4 KiB page moved into a per-core page cache
+	// (state allocated, owner page-cache).
+	OpCacheFill
+	// OpCacheAlloc: a cached page was handed out as a user mapping
+	// (refcount 1) — the cache-hit allocation path.
+	OpCacheAlloc
+	// OpCacheFree: a user page's last mapping was released back into a
+	// per-core cache instead of the global free list.
+	OpCacheFree
+	// OpCacheDrain: a cached page returned to the global free list.
+	OpCacheDrain
 )
 
 // PageObserver receives page lifecycle events. Like the fault hook it is
@@ -346,6 +375,97 @@ func (a *Allocator) FreePage(p hw.PhysAddr) error {
 	return nil
 }
 
+// --- per-core cache transitions ---------------------------------------------
+//
+// The four transitions below are the allocator half of the per-core
+// page-frame caches (CoreCaches): free <-> cached <-> user-mapped.
+// Cached frames are StateAllocated/OwnerPCache so the closure
+// accounting (verify.MemoryWF, account.Audit) always sees them; the
+// zero is deferred to hand-out, where it runs outside the big lock.
+
+// MoveFreeToCache pops a free 4 KiB page into cached state (allocated,
+// owner page-cache) without zeroing it — the batch-refill step, run
+// under the big lock. The deferred zero is paid by CacheToUser.
+func (a *Allocator) MoveFreeToCache() (hw.PhysAddr, error) {
+	if a.injectFail() {
+		return 0, fmt.Errorf("%w: no 4KiB pages (injected)", ErrOutOfMemory)
+	}
+	i, ok := a.popFree(Size4K)
+	if !ok {
+		return 0, fmt.Errorf("%w: no 4KiB pages", ErrOutOfMemory)
+	}
+	// Fast-path pop plus one cold metadata line; no zero yet.
+	a.clock.Charge(hw.CostAllocFast + hw.CostCacheMiss)
+	p := a.mem.FrameAddr(int(i))
+	a.pages[i].State = StateAllocated
+	a.pages[i].Owner = OwnerPCache
+	a.observe(OpCacheFill, p, Size4K)
+	return p, nil
+}
+
+// CacheToUser hands a cached page out as a user mapping (state mapped,
+// refcount 1), paying the deferred zero. The metadata is core-local and
+// cache-hot — this is the cycles the per-core cache removes from under
+// the big lock relative to AllocUserPage4K's cold-list path.
+func (a *Allocator) CacheToUser(p hw.PhysAddr) error {
+	i, err := a.idx(p)
+	if err != nil {
+		return err
+	}
+	pg := &a.pages[i]
+	if pg.State != StateAllocated || pg.Owner != OwnerPCache {
+		return fmt.Errorf("%w: cache hand-out of %v/%v page %#x", ErrWrongState, pg.State, pg.Owner, p)
+	}
+	a.clock.Charge(hw.CostAllocFast + hw.CostPageZero)
+	a.mem.ZeroPage(p)
+	pg.State = StateMapped
+	pg.Owner = OwnerUser
+	pg.RefCount = 1
+	a.observe(OpCacheAlloc, p, Size4K)
+	return nil
+}
+
+// UserToCache takes back a user page whose last mapping reference is
+// being released, parking it in cached state instead of the global free
+// list — the core-local free path. The page must be mapped with
+// refcount exactly 1 (shared pages go through DecRef).
+func (a *Allocator) UserToCache(p hw.PhysAddr) error {
+	i, err := a.idx(p)
+	if err != nil {
+		return err
+	}
+	pg := &a.pages[i]
+	if pg.State != StateMapped || pg.RefCount != 1 || pg.Size != Size4K {
+		return fmt.Errorf("%w: cache take-back of %v page %#x (ref %d, %v)",
+			ErrWrongState, pg.State, p, pg.RefCount, pg.Size)
+	}
+	a.clock.Charge(hw.CostCacheTouch)
+	pg.RefCount = 0
+	pg.State = StateAllocated
+	pg.Owner = OwnerPCache
+	a.observe(OpCacheFree, p, Size4K)
+	return nil
+}
+
+// CacheToFree returns a cached page to the global 4 KiB free list — the
+// drain step, run under the big lock when a core's cache overflows.
+func (a *Allocator) CacheToFree(p hw.PhysAddr) error {
+	i, err := a.idx(p)
+	if err != nil {
+		return err
+	}
+	pg := &a.pages[i]
+	if pg.State != StateAllocated || pg.Owner != OwnerPCache {
+		return fmt.Errorf("%w: cache drain of %v/%v page %#x", ErrWrongState, pg.State, pg.Owner, p)
+	}
+	a.clock.Charge(hw.CostAllocFast)
+	pg.State = StateFree
+	pg.Owner = OwnerNone
+	a.pushFree(Size4K, i)
+	a.observe(OpCacheDrain, p, Size4K)
+	return nil
+}
+
 // --- superpage merge / split ------------------------------------------------
 
 // Merge2M scans the page array for a naturally aligned run of 512 free
@@ -434,6 +554,11 @@ type Snapshot struct {
 	Mapped    PageSet
 	Merged    PageSet
 	Boot      PageSet
+	// PCache is the subset of Allocated parked in per-core page-frame
+	// caches (OwnerPCache). Specs treat these as free at the abstract
+	// level — the cache is an implementation detail of the allocator —
+	// while the closure checks still see them as allocated.
+	PCache PageSet
 }
 
 // Snapshot captures the allocator's abstract state.
@@ -441,7 +566,7 @@ func (a *Allocator) Snapshot() Snapshot {
 	s := Snapshot{
 		Free4K: NewPageSet(), Free2M: NewPageSet(), Free1G: NewPageSet(),
 		Allocated: NewPageSet(), Mapped: NewPageSet(), Merged: NewPageSet(),
-		Boot: NewPageSet(),
+		Boot: NewPageSet(), PCache: NewPageSet(),
 	}
 	for i := range a.pages {
 		p := a.mem.FrameAddr(i)
@@ -461,6 +586,9 @@ func (a *Allocator) Snapshot() Snapshot {
 				s.Boot.Insert(p)
 			} else {
 				s.Allocated.Insert(p)
+				if pg.Owner == OwnerPCache {
+					s.PCache.Insert(p)
+				}
 			}
 		case StateMapped:
 			s.Mapped.Insert(p)

@@ -51,6 +51,7 @@ const (
 	OwnerPageTable  // page-table nodes
 	OwnerIOMMU      // IOMMU context and translation tables
 	OwnerUser       // user-mapped frames (state mapped, not allocated)
+	OwnerPCache     // frames parked in a per-core page-frame cache
 )
 
 // String implements fmt.Stringer.
@@ -68,6 +69,8 @@ func (o Owner) String() string {
 		return "iommu"
 	case OwnerUser:
 		return "user"
+	case OwnerPCache:
+		return "page-cache"
 	}
 	return "invalid"
 }

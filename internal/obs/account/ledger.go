@@ -31,6 +31,14 @@ import (
 // are page-aligned physical addresses, so 1 can never collide.
 const InFlight = hw.PhysAddr(1)
 
+// PageCache is the pseudo-container owning frames parked in the
+// per-core page-frame caches (mem.CoreCaches). Cached frames belong to
+// no real container — they were given back, or not yet handed out — but
+// they are not free either, so the closure accounting needs a place to
+// hold them. Like InFlight, the value can never collide with a real
+// container pointer (those are page-aligned).
+const PageCache = hw.PhysAddr(2)
+
 // ContainerStat is one container's live accounting state. Page counts
 // are in 4 KiB units (a 2 MiB user mapping counts 512).
 type ContainerStat struct {
@@ -198,6 +206,52 @@ func (l *Ledger) PageEvent(op mem.PageOp, p hw.PhysAddr, sc mem.SizeClass) {
 		}
 	case mem.OpDecRef:
 		l.dropRef(p, sc)
+	case mem.OpCacheFill:
+		// Free -> cached: the frame now belongs to the page-cache
+		// pseudo-container, regardless of whose syscall triggered the
+		// refill — cached frames are owned by no real container.
+		l.owner[p] = PageCache
+		l.stat(PageCache).ObjPages++
+		l.bumpLive(1)
+	case mem.OpCacheAlloc:
+		// Cached -> user-mapped under the current context. Live total is
+		// unchanged: the page moves between closure columns.
+		if _, ok := l.owner[p]; !ok {
+			l.anomalies++
+		} else {
+			delete(l.owner, p)
+			l.stat(PageCache).ObjPages--
+			l.live--
+		}
+		l.holders[p] = map[hw.PhysAddr]uint32{l.ctx: 1}
+		l.sizes[p] = sc
+		l.stat(l.ctx).UserPages += pages4K(sc)
+		l.bumpLive(pages4K(sc))
+	case mem.OpCacheFree:
+		// User-mapped (last ref) -> cached: drop the mapping exactly as
+		// OpFreeUser would, then park the frame under the page-cache.
+		l.dropRef(p, sc)
+		if h := l.holders[p]; len(h) != 0 {
+			for _, c := range sortedCntrs(h) {
+				l.stat(c).UserPages -= pages4K(l.sizes[p])
+				l.anomalies++
+			}
+		}
+		delete(l.holders, p)
+		delete(l.sizes, p)
+		l.live -= pages4K(sc)
+		l.owner[p] = PageCache
+		l.stat(PageCache).ObjPages++
+		l.bumpLive(1)
+	case mem.OpCacheDrain:
+		// Cached -> free.
+		if _, ok := l.owner[p]; !ok {
+			l.anomalies++
+			return
+		}
+		delete(l.owner, p)
+		l.stat(PageCache).ObjPages--
+		l.live--
 	case mem.OpFreeUser:
 		l.dropRef(p, sc)
 		if h := l.holders[p]; len(h) != 0 {
@@ -328,6 +382,9 @@ func (l *Ledger) retireIfDead(p hw.PhysAddr) {
 func (l *Ledger) nameOf(c hw.PhysAddr) string {
 	if c == InFlight {
 		return "in-flight"
+	}
+	if c == PageCache {
+		return "page-cache"
 	}
 	if n, ok := l.names[c]; ok {
 		return n

@@ -1,0 +1,129 @@
+package account
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/mem"
+)
+
+// The audit must hold at every point of a per-core cache lifecycle —
+// refill, hand-out, take-back, drain — including while an IPC grant
+// reference is parked in-flight between sender and receiver.
+func TestAuditWithPageCacheAndInFlightGrant(t *testing.T) {
+	l, a := bound(t, 128)
+	cntrA := hw.PhysAddr(0x2000)
+	cntrB := hw.PhysAddr(0x3000)
+	l.NameContainer(cntrA, "sender")
+	l.NameContainer(cntrB, "receiver")
+	cc := mem.NewCoreCaches(a, 2, 4)
+
+	// Core 0 allocates for the sender: three batch refills (4 frames
+	// each into the page-cache) with hand-outs interleaved.
+	l.SetContext(cntrA)
+	var pagesA []hw.PhysAddr
+	for i := 0; i < 9; i++ {
+		p, _, err := cc.AllocUser4K(0)
+		if err != nil {
+			t.Fatalf("core 0 alloc %d: %v", i, err)
+		}
+		pagesA = append(pagesA, p)
+	}
+	mustAudit(t, l)
+	if got := l.ContainerPages(PageCache); got != 3 {
+		t.Fatalf("page-cache holds %d pages after refills, want 3", got)
+	}
+
+	// Core 1 allocates for the receiver concurrently (its own refill).
+	l.SetContext(cntrB)
+	pB, _, err := cc.AllocUser4K(1)
+	if err != nil {
+		t.Fatalf("core 1 alloc: %v", err)
+	}
+	mustAudit(t, l)
+
+	// Sender grants a page over IPC: the sender duplicates its ref and
+	// the duplicate moves to in-flight. The audit must still balance
+	// with the grant in transit...
+	l.SetContext(cntrA)
+	if err := a.IncRef(pagesA[0]); err != nil {
+		t.Fatalf("IncRef: %v", err)
+	}
+	l.MoveRef(pagesA[0], cntrA, InFlight)
+	mustAudit(t, l)
+	if got := l.ContainerPages(InFlight); got != 1 {
+		t.Fatalf("in-flight holds %d pages, want 1", got)
+	}
+
+	// ...and while cache refill/drain churns around it: freeing the
+	// other eight frames on core 0 overfills its cache past 2x batch,
+	// forcing an overflow drain back to the global free list.
+	l.SetContext(cntrA)
+	for _, p := range pagesA[1:] {
+		if _, err := cc.FreeUser4K(0, p); err != nil {
+			t.Fatalf("cache free: %v", err)
+		}
+	}
+	if n := cc.Len(0); n > 8 {
+		t.Fatalf("core 0 cache holds %d frames, overflow drain never ran", n)
+	}
+	l.SetContext(cntrB)
+	if _, err := cc.FreeUser4K(1, pB); err != nil {
+		t.Fatalf("core 1 cache free: %v", err)
+	}
+	mustAudit(t, l)
+
+	// Grant delivered: in-flight ref lands on the receiver.
+	l.MoveRef(pagesA[0], InFlight, cntrB)
+	mustAudit(t, l)
+	if got := l.ContainerPages(cntrB); got != 1 {
+		t.Fatalf("receiver holds %d pages after delivery, want 1", got)
+	}
+
+	// Full teardown: both refs on the granted page dropped, caches
+	// drained. Everything returns to the free list and the audit, live
+	// count, and page-cache closure all read empty.
+	l.SetContext(cntrB)
+	if _, err := a.DecRef(pagesA[0]); err != nil {
+		t.Fatalf("receiver DecRef: %v", err)
+	}
+	l.SetContext(cntrA)
+	if _, err := a.DecRef(pagesA[0]); err != nil {
+		t.Fatalf("sender DecRef: %v", err)
+	}
+	if err := cc.Drain(); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	mustAudit(t, l)
+	if got := l.ContainerPages(PageCache); got != 0 {
+		t.Fatalf("page-cache still holds %d pages after drain", got)
+	}
+	if l.Anomalies() != 0 {
+		t.Fatalf("%d attribution anomalies", l.Anomalies())
+	}
+}
+
+// The page-cache pseudo-container renders by name in ledger rows.
+func TestPageCacheRowName(t *testing.T) {
+	l, a := bound(t, 64)
+	cc := mem.NewCoreCaches(a, 1, 2)
+	l.SetContext(root)
+	if _, _, err := cc.AllocUser4K(0); err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	found := false
+	for _, r := range l.Rows() {
+		if r.Cntr == PageCache {
+			found = true
+			if r.Name != "page-cache" {
+				t.Fatalf("page-cache row named %q", r.Name)
+			}
+			if r.ObjPages != 1 {
+				t.Fatalf("page-cache row has %d obj pages, want 1", r.ObjPages)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no page-cache row in %v", l.Rows())
+	}
+}

@@ -14,6 +14,12 @@ import (
 type Scheduler struct {
 	queues  [][]Ptr
 	current []Ptr // 0 = core idle
+
+	// stealing enables deterministic work stealing: a core whose queue
+	// runs empty takes the tail of the longest other queue instead of
+	// idling (EnableWorkStealing).
+	stealing bool
+	steals   uint64
 }
 
 func newScheduler(cores int) *Scheduler {
@@ -74,6 +80,9 @@ func (m *ProcessManager) PickNext(core int) Ptr {
 		s.current[core] = 0
 	}
 	if len(s.queues[core]) == 0 {
+		if s.stealing {
+			return m.trySteal(core)
+		}
 		return 0
 	}
 	next := s.queues[core][0]
@@ -82,6 +91,54 @@ func (m *ProcessManager) PickNext(core int) Ptr {
 	t.State = ThreadRunning
 	s.current[core] = next
 	return next
+}
+
+// EnableWorkStealing lets an idle core migrate runnable threads from
+// other cores' queues instead of idling. The policy is deterministic —
+// victim and candidate selection are pure functions of the queue state,
+// no randomization — so traces stay reproducible.
+func (m *ProcessManager) EnableWorkStealing() { m.sched.stealing = true }
+
+// Steals reports how many threads have been migrated by work stealing.
+func (m *ProcessManager) Steals() uint64 { return m.sched.steals }
+
+// trySteal migrates a thread onto idle core: the victim is the core
+// with the longest run queue (first such core in scan order on ties),
+// the candidate the tail-most thread whose container reserves the
+// thief's core. Tail-most is the classic choice — the coldest thread,
+// the one whose cache working set costs least to move; the migration
+// itself is priced at CostSchedSteal. Returns 0 when every queue is
+// empty or the chosen victim holds no migratable thread (one victim
+// per attempt keeps the policy simple and the scan bounded).
+func (m *ProcessManager) trySteal(core int) Ptr {
+	s := m.sched
+	victim, best := -1, 0
+	for c := range s.queues {
+		if c == core {
+			continue
+		}
+		if n := len(s.queues[c]); n > best {
+			best, victim = n, c
+		}
+	}
+	if victim < 0 {
+		return 0
+	}
+	q := s.queues[victim]
+	for i := len(q) - 1; i >= 0; i-- {
+		t := m.Thrd(q[i])
+		if !containsInt(m.Cntr(t.OwningCntr).CPUs, core) {
+			continue // container does not reserve the thief's core
+		}
+		s.queues[victim] = append(q[:i], q[i+1:]...)
+		t.Core = core
+		t.State = ThreadRunning
+		s.current[core] = t.Ptr
+		s.steals++
+		m.clock.Charge(hw.CostSchedSteal)
+		return t.Ptr
+	}
+	return 0
 }
 
 // Dispatch makes a specific runnable thread current on its core,

@@ -377,7 +377,7 @@ func MemEqual(a, b mem.Snapshot) bool {
 	return a.Free4K.Equal(b.Free4K) && a.Free2M.Equal(b.Free2M) &&
 		a.Free1G.Equal(b.Free1G) && a.Allocated.Equal(b.Allocated) &&
 		a.Mapped.Equal(b.Mapped) && a.Merged.Equal(b.Merged) &&
-		a.Boot.Equal(b.Boot)
+		a.Boot.Equal(b.Boot) && a.PCache.Equal(b.PCache)
 }
 
 // SortedPtrs returns the keys of a pointer set in ascending order.

@@ -5,6 +5,7 @@ import (
 
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
+	"atmosphere/internal/mem"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 )
@@ -168,8 +169,12 @@ func MmapSpec(old, new State, tid Ptr, va hw.VirtAddr, count int, size hw.PageSi
 	); err != nil {
 		return err
 	}
-	// Quota: used grows by the user pages plus new table nodes.
-	nodeDelta := new.Mem.Allocated.Len() - old.Mem.Allocated.Len()
+	// Quota: used grows by the user pages plus new table nodes. Frames
+	// that moved into (or out of) the per-core page caches during the
+	// syscall are allocated but belong to no container, so the cached
+	// subset is excluded from the node delta.
+	nodeDelta := (new.Mem.Allocated.Len() - new.Mem.PCache.Len()) -
+		(old.Mem.Allocated.Len() - old.Mem.PCache.Len())
 	oc, nc := old.Containers[cntr], new.Containers[cntr]
 	wantDelta := uint64(count)*(size.Bytes()/hw.PageSize4K) + uint64(nodeDelta)
 	if err := check(nc.UsedPages == oc.UsedPages+wantDelta,
@@ -200,7 +205,10 @@ func mmapFailFrame(old, new State, tid Ptr) error {
 		check(EndpointsUnchangedExcept(old, new), "mmap-fail changed an endpoint"),
 		check(SpacesUnchangedExcept(old, new), "mmap-fail changed an address space"),
 		check(old.Mem.Mapped.Equal(new.Mem.Mapped), "mmap-fail changed mapped pages"),
-		check(new.Mem.Allocated.Subset(old.Mem.Allocated), "mmap-fail grew allocated set"),
+		// A failed attempt may still have refilled a per-core cache
+		// before running out of memory or quota, so only the
+		// container-owned part of the allocated set must not grow.
+		check(allocatedSansCache(new).Subset(old.Mem.Allocated), "mmap-fail grew allocated set"),
 	); err != nil {
 		return err
 	}
@@ -227,6 +235,16 @@ func mmapFailFrame(old, new State, tid Ptr) error {
 	return nil
 }
 
+// allocatedSansCache returns the allocated pages that belong to kernel
+// subsystems — the allocated set minus the per-core page-cache frames.
+func allocatedSansCache(st State) mem.PageSet {
+	s := st.Mem.Allocated.Clone()
+	for p := range st.Mem.PCache {
+		s.Remove(p)
+	}
+	return s
+}
+
 func containerEqualExceptUsed(a, b Container) bool {
 	a.UsedPages = b.UsedPages
 	return ContainerEqual(a, b)
@@ -235,7 +253,10 @@ func containerEqualExceptUsed(a, b Container) bool {
 func pageWasFree(old State, phys hw.PhysAddr, size hw.PageSize) bool {
 	switch size {
 	case hw.Size4K:
-		return old.Mem.Free4K.Contains(phys)
+		// A frame parked in a per-core page cache is free at the
+		// abstract level: not mapped anywhere, owned by no container,
+		// merely staged inside the allocator for the next hand-out.
+		return old.Mem.Free4K.Contains(phys) || old.Mem.PCache.Contains(phys)
 	case hw.Size2M:
 		return old.Mem.Free2M.Contains(phys)
 	case hw.Size1G:

@@ -428,12 +428,24 @@ func MemoryWF(k *kernel.Kernel) error {
 	if !k.IOMMU.PageClosure().Equal(iommuOwned) {
 		return fmt.Errorf("iommu closure disagrees with allocator")
 	}
+	// Page-cache closure: the frames the kernel believes are parked in
+	// per-core caches are exactly the allocator's OwnerPCache pages
+	// (both empty while caches are disabled).
+	pcacheOwned := k.Alloc.AllocatedTo(mem.OwnerPCache)
+	pcacheKernel := k.PageCachePages()
+	if !pcacheKernel.Equal(pcacheOwned) {
+		return fmt.Errorf("page-cache closure %d pages, allocator says %d",
+			pcacheKernel.Len(), pcacheOwned.Len())
+	}
 	// Closures are pairwise disjoint (owners distinct by construction;
 	// verify anyway) and cover the allocated set.
 	if !objPages.Disjoint(ptPages) || !objPages.Disjoint(iommuOwned) || !ptPages.Disjoint(iommuOwned) {
 		return fmt.Errorf("subsystem closures overlap")
 	}
-	union := objPages.Clone().Union(ptPages).Union(iommuOwned)
+	if !pcacheOwned.Disjoint(objPages) || !pcacheOwned.Disjoint(ptPages) || !pcacheOwned.Disjoint(iommuOwned) {
+		return fmt.Errorf("page-cache closure overlaps another subsystem")
+	}
+	union := objPages.Clone().Union(ptPages).Union(iommuOwned).Union(pcacheOwned)
 	if !union.Equal(snap.Allocated) {
 		return fmt.Errorf("closures cover %d pages, allocated set has %d",
 			union.Len(), snap.Allocated.Len())
