@@ -23,8 +23,13 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (kernel/obs/drivers/mem shard)"
-go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/... ./internal/mem/...
+echo "== go test -race (kernel/obs/drivers/mem/pm/verify shard)"
+go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/... \
+    ./internal/mem/... ./internal/pm/... ./internal/verify/...
+
+echo "== fuzz smoke (10s per target)"
+go test ./internal/mck/ -run '^$' -fuzz '^FuzzDiff$' -fuzztime 10s
+go test ./internal/mck/ -run '^$' -fuzz '^FuzzChecked$' -fuzztime 10s
 
 echo "== docs relative-link check"
 # Every relative link in docs/*.md must resolve (fragment stripped);
@@ -42,6 +47,9 @@ for f in docs/*.md; do
         fi
     done
 done
+
+echo "== atmo-fuzz -diff smoke"
+go run ./cmd/atmo-fuzz -diff -seeds 4 -steps 2000
 
 echo "== atmo-trace smoke"
 smoke_dir=$(mktemp -d /tmp/atmo-ci-smoke.XXXXXX)

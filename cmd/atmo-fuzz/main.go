@@ -1,16 +1,27 @@
-// Command atmo-fuzz drives long randomized syscall traces through the
-// fully-checked kernel — every transition validated against its
-// specification and the complete invariant suite — and reports coverage
-// statistics. It is the repository's syzkaller-shaped confidence tool:
-// where atmo-verify discharges curated obligations, atmo-fuzz searches
-// for states the curated scenarios miss.
+// Command atmo-fuzz drives generated syscall programs through the
+// kernel under one of three oracles. It is the repository's
+// syzkaller-shaped confidence tool: where atmo-verify discharges
+// curated obligations, atmo-fuzz searches for states the curated
+// scenarios miss.
 //
 // Usage:
 //
-//	atmo-fuzz                      # 2000 steps, seed 1
+//	atmo-fuzz                      # checked mode: 2000 ops, seed 1
 //	atmo-fuzz -steps 10000 -seed 9
-//	atmo-fuzz -seeds 8             # 8 independent seeds
+//	atmo-fuzz -seeds 8             # 8 independent swarm profiles
+//	atmo-fuzz -diff -seeds 8       # differential spec-vs-kernel lockstep
+//	atmo-fuzz -repro f.repro       # replay a minimized repro file
 //	atmo-fuzz -chaos -seeds 4      # randomized traces under a fault plan
+//
+// The default (checked) mode validates every transition against its
+// per-syscall specification predicate plus the full invariant suite.
+//
+// With -diff each program instead runs in lockstep with the pure spec
+// interpreter: after every syscall the kernel's abstraction Ψ is
+// compared field-by-field against the independently-evolved Ψ′. On
+// divergence the failing program is delta-debugged down to a minimal
+// op sequence and written as a self-contained repro file; replay it
+// with -repro.
 //
 // With -chaos each trace runs on a raw kernel with a seeded fault
 // injector armed — allocator exhaustion on every allocation site,
@@ -30,27 +41,30 @@ import (
 	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
+	"atmosphere/internal/mck"
 	"atmosphere/internal/obs"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 	"atmosphere/internal/verify"
 )
 
-type stats struct {
-	ops    map[string]int
-	errnos map[string]int
-}
-
 func main() {
-	steps := flag.Int("steps", 2000, "transitions per seed")
+	steps := flag.Int("steps", 2000, "ops per seed")
 	seed := flag.Uint64("seed", 1, "first seed")
 	seeds := flag.Int("seeds", 1, "number of independent seeds")
+	diff := flag.Bool("diff", false, "differential mode: lockstep kernel-vs-spec-interpreter oracle")
+	repro := flag.String("repro", "", "replay a repro file through the differential oracle and exit")
+	reproOut := flag.String("repro-out", "atmo-fuzz-failure.repro", "with -diff: where to write a minimized failing program")
 	chaos := flag.Bool("chaos", false, "inject faults and report the invariant pass rate")
 	traceOut := flag.String("trace", "", "with -chaos: write the last seed's Perfetto trace to this path")
 	metricsOut := flag.String("metrics", "", "with -chaos: write a metrics dump to this path")
 	flag.Parse()
 
-	if *chaos {
+	switch {
+	case *repro != "":
+		runRepro(*repro)
+		return
+	case *chaos:
 		runChaos(*seed, *seeds, *steps, *traceOut, *metricsOut)
 		return
 	}
@@ -58,24 +72,91 @@ func main() {
 		fmt.Fprintln(os.Stderr, "atmo-fuzz: -trace/-metrics require -chaos")
 		os.Exit(2)
 	}
+	if *diff {
+		runDiff(*seed, *seeds, *steps, *reproOut)
+		return
+	}
+	runChecked(*seed, *seeds, *steps)
+}
 
-	total := stats{ops: map[string]int{}, errnos: map[string]int{}}
-	transitions := 0
-	for s := 0; s < *seeds; s++ {
-		n, err := fuzzOne(*seed+uint64(s), *steps, &total)
-		transitions += n
+// runChecked is the default mode: every generated program runs on a
+// kernel wrapped by verify.Checker, so each transition is validated
+// against its specification predicate and the invariant suite.
+func runChecked(first uint64, seeds, steps int) {
+	total := mck.Stats{Ops: map[string]int{}, Errnos: map[string]int{}}
+	for s := 0; s < seeds; s++ {
+		seed := first + uint64(s)
+		st, err := mck.RunChecked(mck.Generate(seed, steps), mck.Options{})
+		total.Merge(st)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "seed %d FAILED after %d transitions: %v\n",
-				*seed+uint64(s), n, err)
+			fmt.Fprintf(os.Stderr, "seed %d FAILED after %d ops: %v\n", seed, st.Steps, err)
 			os.Exit(1)
 		}
-		fmt.Printf("seed %d: %d checked transitions, all specs and invariants held\n",
-			*seed+uint64(s), n)
+		fmt.Printf("seed %d: %d checked transitions, all specs and invariants held\n", seed, st.Steps)
 	}
-	fmt.Printf("\ntotal: %d checked transitions\n\nsyscall coverage:\n", transitions)
-	printSorted(total.ops)
+	fmt.Printf("\ntotal: %d checked transitions\n\nsyscall coverage:\n", total.Steps)
+	printSorted(total.Ops)
 	fmt.Println("\nerrno coverage:")
-	printSorted(total.errnos)
+	printSorted(total.Errnos)
+}
+
+// runDiff is the lockstep differential mode: kernel vs. pure spec
+// interpreter, field-level Ψ comparison after every op. The first
+// divergence is shrunk to a minimal repro and written to reproOut.
+func runDiff(first uint64, seeds, steps int, reproOut string) {
+	total := mck.Stats{Ops: map[string]int{}, Errnos: map[string]int{}}
+	opt := mck.Options{WFEvery: 256}
+	for s := 0; s < seeds; s++ {
+		seed := first + uint64(s)
+		p := mck.Generate(seed, steps)
+		res, st, err := mck.RunDiff(p, opt)
+		total.Merge(st)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: boot failed: %v\n", seed, err)
+			os.Exit(1)
+		}
+		if res != nil {
+			fmt.Fprintf(os.Stderr, "seed %d DIVERGED: %v\nshrinking...\n", seed, res)
+			min := mck.Shrink(p, func(q mck.Program) bool { return mck.Fails(q, opt) })
+			if werr := os.WriteFile(reproOut, min.EncodeRepro(), 0o644); werr != nil {
+				fmt.Fprintf(os.Stderr, "atmo-fuzz: writing repro: %v\n", werr)
+			} else {
+				fmt.Fprintf(os.Stderr, "minimized to %d ops; wrote %s (replay with -repro)\n",
+					len(min.Ops), reproOut)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("seed %d: %d ops in lockstep, kernel and spec agreed on every field of Ψ\n", seed, st.Steps)
+	}
+	fmt.Printf("\ntotal: %d differential transitions\n\nsyscall coverage:\n", total.Steps)
+	printSorted(total.Ops)
+	fmt.Println("\nerrno coverage:")
+	printSorted(total.Errnos)
+}
+
+// runRepro replays a minimized repro file through the differential
+// oracle; exit status reports whether the divergence still reproduces.
+func runRepro(path string) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atmo-fuzz: %v\n", err)
+		os.Exit(2)
+	}
+	p, err := mck.ParseRepro(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "atmo-fuzz: %s: %v\n", path, err)
+		os.Exit(2)
+	}
+	res, st, err := mck.RunDiff(p, mck.Options{WFEvery: 1})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: boot failed: %v\n", path, err)
+		os.Exit(1)
+	}
+	if res != nil {
+		fmt.Printf("%s: still diverges after %d ops: %v\n", path, st.Steps, res)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d ops replayed, kernel and spec agree (divergence fixed)\n", path, st.Steps)
 }
 
 func printSorted(m map[string]int) {
@@ -87,209 +168,6 @@ func printSorted(m map[string]int) {
 	for _, k := range keys {
 		fmt.Printf("  %-24s %7d\n", k, m[k])
 	}
-}
-
-// fuzzOne runs one seed's trace on a fresh checked kernel.
-func fuzzOne(seed uint64, steps int, st *stats) (int, error) {
-	c, init, err := verify.NewChecker(hw.Config{Frames: 8192, Cores: 4, TLBSlots: 256})
-	if err != nil {
-		return 0, err
-	}
-	r := hw.NewRand(seed)
-	type actor struct {
-		tid  pm.Ptr
-		core int
-	}
-	actors := []actor{{init, 0}}
-	var containers []pm.Ptr
-	nextVA := uint64(0x10000000)
-
-	// A shared rendezvous endpoint in slot 0 of every actor, installed
-	// at thread creation (boot-style channel setup): blocked senders
-	// and receivers pair up over time instead of stranding forever.
-	if ret, e := c.NewEndpoint(0, init, 0); e != nil || ret.Errno != kernel.OK {
-		return 0, fmt.Errorf("rendezvous endpoint: %v %v", ret.Errno, e)
-	}
-	rendezvous := c.K.PM.Thrd(init).Endpoints[0]
-	adopt := func(tid pm.Ptr) {
-		if _, alive := c.K.PM.TryEdpt(rendezvous); !alive {
-			return
-		}
-		t := c.K.PM.Thrd(tid)
-		if t.Endpoints[0] == pm.NoEndpoint {
-			t.Endpoints[0] = rendezvous
-			c.K.PM.EndpointIncRef(rendezvous, 1)
-		}
-	}
-
-	record := func(op string, ret kernel.Ret, err error) error {
-		st.ops[op]++
-		st.errnos[ret.Errno.String()]++
-		return err
-	}
-	for i := 0; i < steps; i++ {
-		// Pick among currently runnable actors (blocked ones resume
-		// when a partner rendezvous completes).
-		var runnable []actor
-		live := actors[:0]
-		for _, cand := range actors {
-			if th, alive := c.K.PM.TryThrd(cand.tid); alive {
-				live = append(live, cand)
-				if th.State == pm.ThreadRunnable || th.State == pm.ThreadRunning {
-					runnable = append(runnable, cand)
-				}
-			}
-		}
-		actors = live
-		if len(runnable) == 0 {
-			return c.Transitions, fmt.Errorf("all actors stranded at step %d", i)
-		}
-		a := runnable[r.Intn(len(runnable))]
-		th := c.K.PM.Thrd(a.tid)
-		op := r.Intn(15)
-		if len(runnable) == 1 && (op == 5 || op == 6) {
-			// The last runnable actor must not strand itself: only
-			// rendezvous in the direction that completes immediately
-			// (rescuing a blocked partner), otherwise yield.
-			op = 7
-			if ep, alive := c.K.PM.TryEdpt(rendezvous); alive && len(ep.Queue) > 0 {
-				if ep.QueuedRecv {
-					op = 5 // receivers waiting: a send completes
-				} else {
-					op = 6 // senders waiting: a recv completes
-				}
-			}
-		}
-		var err error
-		switch op {
-		case 0:
-			count := 1 + r.Intn(4)
-			va := hw.VirtAddr(nextVA)
-			nextVA += uint64(count+1) * hw.PageSize4K
-			ret, e := c.Mmap(a.core, a.tid, va, count, hw.Size4K, pt.RW)
-			err = record("mmap", ret, e)
-		case 1:
-			ret, e := c.Munmap(a.core, a.tid,
-				hw.VirtAddr(0x10000000+uint64(r.Intn(256))*hw.PageSize4K), 1, hw.Size4K)
-			err = record("munmap", ret, e)
-		case 2:
-			ret, e := c.NewContainer(a.core, a.tid, uint64(5+r.Intn(40)), []int{a.core})
-			if e == nil && ret.Errno == kernel.OK {
-				containers = append(containers, pm.Ptr(ret.Vals[0]))
-			}
-			err = record("new_container", ret, e)
-		case 3:
-			ret, e := c.NewProcess(a.core, a.tid)
-			if e == nil && ret.Errno == kernel.OK {
-				tr, e2 := c.NewThreadIn(a.core, a.tid, pm.Ptr(ret.Vals[0]), a.core)
-				if e2 == nil && tr.Errno == kernel.OK {
-					adopt(pm.Ptr(tr.Vals[0]))
-					actors = append(actors, actor{pm.Ptr(tr.Vals[0]), a.core})
-				}
-				e = e2
-			}
-			err = record("new_proc+thread", ret, e)
-		case 4:
-			slot := freeSlot(th)
-			if slot >= 0 {
-				ret, e := c.NewEndpoint(a.core, a.tid, slot)
-				err = record("new_endpoint", ret, e)
-			}
-		case 5:
-			slot := 0 // mostly the shared rendezvous endpoint
-			if len(runnable) > 1 && r.Intn(10) < 3 {
-				slot = r.Intn(pm.MaxEndpoints)
-			}
-			ret, e := c.Send(a.core, a.tid, slot,
-				kernel.SendArgs{Regs: [4]uint64{r.Uint64()}})
-			err = record("send", ret, e)
-		case 6:
-			slot := 0
-			if len(runnable) > 1 && r.Intn(10) < 3 {
-				slot = r.Intn(pm.MaxEndpoints)
-			}
-			ret, e := c.Recv(a.core, a.tid, slot, kernel.RecvArgs{EdptSlot: -1})
-			err = record("recv", ret, e)
-		case 7:
-			ret, e := c.Yield(a.core, a.tid)
-			err = record("yield", ret, e)
-		case 8:
-			ret, e := c.IommuCreateDomain(a.core, a.tid)
-			err = record("iommu_create", ret, e)
-		case 9:
-			if len(containers) > 0 {
-				i := r.Intn(len(containers))
-				ret, e := c.KillContainer(0, init, containers[i])
-				if e == nil && ret.Errno == kernel.OK {
-					containers = append(containers[:i], containers[i+1:]...)
-				}
-				err = record("kill_container", ret, e)
-			}
-		case 10:
-			if len(containers) > 0 {
-				i := r.Intn(len(containers))
-				ret, e := c.KillContainerBounded(0, init, containers[i], 1+r.Intn(4))
-				if e == nil && ret.Errno == kernel.OK {
-					containers = append(containers[:i], containers[i+1:]...)
-				}
-				err = record("kill_container_bounded", ret, e)
-			}
-		case 11:
-			// Never slot 0: the rendezvous endpoint stays shared.
-			ret, e := c.CloseEndpoint(a.core, a.tid, 1+r.Intn(pm.MaxEndpoints-1))
-			err = record("close_endpoint", ret, e)
-		case 12:
-			slot := freeSlot(th)
-			irq := 32 + r.Intn(8)
-			if slot >= 0 {
-				if ret, e := c.NewEndpoint(a.core, a.tid, slot); e != nil || ret.Errno != kernel.OK {
-					err = record("irq_register", ret, e)
-					break
-				}
-				ret, e := c.IrqRegister(a.core, a.tid, irq, slot)
-				if e == nil && ret.Errno == kernel.OK {
-					c.K.RaiseIRQ(a.core, irq)
-					wret, we := c.IrqWait(a.core, a.tid, irq)
-					_ = record("irq_wait", wret, we)
-					e = we
-				}
-				err = record("irq_register", ret, e)
-			}
-		case 13:
-			if len(actors) > 1 {
-				i := 1 + r.Intn(len(actors)-1)
-				victim := actors[i]
-				if vt, ok := c.K.PM.TryThrd(victim.tid); ok && victim.tid != a.tid &&
-					(vt.State == pm.ThreadRunnable || vt.State == pm.ThreadRunning) &&
-					(len(runnable) > 2 || vt.State == pm.ThreadRunnable && len(runnable) > 1) {
-					ret, e := c.ExitThread(victim.core, victim.tid)
-					if e == nil && ret.Errno == kernel.OK {
-						actors = append(actors[:i], actors[i+1:]...)
-					}
-					err = record("exit_thread", ret, e)
-				}
-			}
-		default: // hostile arguments
-			ret, e := c.Mmap(a.core, a.tid, hw.VirtAddr(r.Uint64n(1<<40)),
-				int(r.Uint64n(6))-2, hw.Size4K, pt.RW)
-			err = record("mmap(junk)", ret, e)
-		}
-		if err != nil {
-			return c.Transitions, err
-		}
-	}
-	return c.Transitions, nil
-}
-
-// freeSlot finds an empty descriptor slot, skipping slot 0 (the shared
-// rendezvous endpoint).
-func freeSlot(t *pm.Thread) int {
-	for i := 1; i < pm.MaxEndpoints; i++ {
-		if t.Endpoints[i] == pm.NoEndpoint {
-			return i
-		}
-	}
-	return -1
 }
 
 // chaosPlan is the fuzzer's fault mix: allocator exhaustion hits every
@@ -370,10 +248,11 @@ func writeOut(path string, write func(io.Writer) error) error {
 }
 
 // chaosOne runs one seed's randomized trace with faults armed. Unlike
-// fuzzOne it drives the raw kernel — injected allocator failures make
-// syscalls return ENOMEM mid-operation, which the per-step spec checker
-// would (correctly) flag as off-spec, while the invariant suite must
-// hold regardless: errored syscalls may abort, never corrupt.
+// the checked mode it drives the raw kernel — injected allocator
+// failures make syscalls return ENOMEM mid-operation, which the
+// per-step spec checker would (correctly) flag as off-spec, while the
+// invariant suite must hold regardless: errored syscalls may abort,
+// never corrupt.
 func chaosOne(seed uint64, steps int, tracer *obs.Tracer, registry *obs.Registry) (checked, violations int, inj *faults.Injector, err error) {
 	k, init, err := kernel.Boot(hw.Config{Frames: 4096, Cores: 4, TLBSlots: 256})
 	if err != nil {

@@ -1,0 +1,67 @@
+package hw
+
+import "testing"
+
+// Jitter is off by default and when max = 0: waits stay pure functions
+// of the frontier, so every pre-existing contention number is intact.
+func TestLockSimJitterOffByDefault(t *testing.T) {
+	var l LockSim
+	l.Enable()
+	l.Acquire(100)
+	l.Release(600)
+	if w := l.Acquire(200); w != 400 {
+		t.Fatalf("unjittered wait = %d, want 400", w)
+	}
+	l.SetJitter(42, 0) // max 0: disarmed again
+	l.Release(700)
+	if w := l.Acquire(300); w != 400 {
+		t.Fatalf("wait with max=0 jitter = %d, want 400", w)
+	}
+}
+
+// Same seed, same arrival sequence, same waits — and a nonzero max
+// actually perturbs at least one hand-off relative to the unjittered run.
+func TestLockSimJitterDeterministic(t *testing.T) {
+	run := func(seed, max uint64) []uint64 {
+		var l LockSim
+		l.Enable()
+		l.SetJitter(seed, max)
+		var waits []uint64
+		arrival := uint64(0)
+		for i := 0; i < 64; i++ {
+			w := l.Acquire(arrival)
+			l.Release(arrival + w + 150)
+			waits = append(waits, w)
+			arrival += 100
+		}
+		return waits
+	}
+	a, b := run(7, 256), run(7, 256)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at acquire %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+	base := run(7, 0)
+	diff := false
+	for i := range a {
+		if a[i] != base[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatalf("jitter max=256 never changed a wait over 64 acquisitions")
+	}
+	other := run(8, 256)
+	diff = false
+	for i := range a {
+		if a[i] != other[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatalf("seeds 7 and 8 produced identical wait sequences")
+	}
+}

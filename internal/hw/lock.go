@@ -26,6 +26,12 @@ type LockSim struct {
 	acquisitions uint64
 	contended    uint64
 	waitCycles   uint64
+
+	// Seeded arrival jitter (SetJitter): each Acquire adds a deterministic
+	// pseudo-random delay in [0, jitterMax] to the arrival timestamp,
+	// perturbing the FIFO service order without giving up reproducibility.
+	jitterMax   uint64
+	jitterState uint64
 }
 
 // Enable turns the contention model on. Off (the zero value), Acquire
@@ -39,12 +45,38 @@ func (l *LockSim) Enable() {
 // Enabled reports whether the contention model is active.
 func (l *LockSim) Enabled() bool { return l != nil && l.enabled }
 
+// SetJitter arms seeded arrival jitter: every subsequent Acquire shifts
+// its arrival timestamp forward by a splitmix64-derived delay in
+// [0, max]. Schedule-exploration harnesses use this to reorder lock
+// hand-offs per seed while staying fully deterministic; max = 0 turns
+// the jitter back off.
+func (l *LockSim) SetJitter(seed, max uint64) {
+	if l == nil {
+		return
+	}
+	l.jitterState = seed
+	l.jitterMax = max
+}
+
+// nextJitter steps the splitmix64 stream and folds it into [0, jitterMax].
+func (l *LockSim) nextJitter() uint64 {
+	l.jitterState += 0x9e3779b97f4a7c15
+	z := l.jitterState
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z % (l.jitterMax + 1)
+}
+
 // Acquire records a lock acquisition by a core whose clock reads arrival
 // and returns the wait cycles the core must charge before it holds the
 // lock: max(0, frontier - arrival). Disabled, it returns 0.
 func (l *LockSim) Acquire(arrival uint64) uint64 {
 	if l == nil || !l.enabled {
 		return 0
+	}
+	if l.jitterMax > 0 {
+		arrival += l.nextJitter()
 	}
 	l.acquisitions++
 	if l.freeAt <= arrival {

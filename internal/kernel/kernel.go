@@ -245,6 +245,17 @@ func (k *Kernel) EnableContention() {
 	k.lock.Enable()
 }
 
+// SetLockJitter arms seeded arrival jitter on the contention model
+// (hw.LockSim.SetJitter): each lock acquisition's virtual arrival time
+// is shifted by a deterministic pseudo-random delay in [0, max],
+// perturbing the hand-off order per seed. Schedule exploration uses it
+// to cover interleavings the FIFO arbiter alone never produces.
+func (k *Kernel) SetLockJitter(seed, max uint64) {
+	k.big.Lock()
+	defer k.big.Unlock()
+	k.lock.SetJitter(seed, max)
+}
+
 // LockStats reports the contention model's (acquisitions, contended
 // acquisitions, total wait cycles); zeros while disabled.
 func (k *Kernel) LockStats() (acquisitions, contended, waitCycles uint64) {

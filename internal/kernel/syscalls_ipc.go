@@ -171,6 +171,12 @@ func (k *Kernel) deliver(rt *pm.Thread, msg pm.Msg) error {
 		k.ledgerRecv(msg.Page, proc.Owner)
 	}
 	if msg.HasEndpoint {
+		// The transferred endpoint may have been destroyed while the
+		// sender sat queued (container kill revokes and frees it); a
+		// dangling install would corrupt the refcount invariant.
+		if _, alive := k.PM.TryEdpt(msg.Endpoint); !alive {
+			return ErrEndpointDead
+		}
 		slot := rt.IPC.RecvEdptSlot
 		if slot < 0 {
 			slot = firstFreeSlot(rt)
@@ -464,6 +470,15 @@ func (k *Kernel) destroyEndpoint(eptr pm.Ptr, dying map[pm.Ptr]struct{}) {
 	e.RefCount -= k.dropIRQBindingsFor(eptr)
 	if e.RefCount != 0 {
 		panic("kernel: endpoint refcount does not match descriptors")
+	}
+	// Scrub pending messages that transfer the dying endpoint: a sender
+	// blocked on some *surviving* endpoint may still carry it in its
+	// message, and a later rendezvous would deliver a dangling pointer.
+	for _, t := range k.PM.ThrdPerms {
+		if t.IPC.Msg.HasEndpoint && t.IPC.Msg.Endpoint == eptr {
+			t.IPC.Msg.HasEndpoint = false
+			t.IPC.Msg.Endpoint = pm.NoEndpoint
+		}
 	}
 	// Force destruction regardless of the counted refs already dropped.
 	k.PM.EndpointIncRef(eptr, 1)

@@ -35,6 +35,12 @@ func (k *Kernel) SysMmap(core int, tid pm.Ptr, va hw.VirtAddr, count int, size h
 	if count <= 0 || count > 1<<20 || !validSize(size) {
 		return k.post("mmap", tid, fail(EINVAL))
 	}
+	// A misaligned base is a plain validation error; rejecting it here
+	// keeps it off the charge-then-rollback path (where pt.Map would
+	// refuse it only after quota was provisionally consumed).
+	if va&hw.VirtAddr(size.Bytes()-1) != 0 {
+		return k.post("mmap", tid, fail(EINVAL))
+	}
 	proc := k.PM.Proc(t.OwningProc)
 	cntr := proc.Owner
 	table := proc.PageTable
@@ -154,6 +160,10 @@ func (k *Kernel) SysMunmap(core int, tid pm.Ptr, va hw.VirtAddr, count int, size
 	if count <= 0 || !validSize(size) {
 		return k.post("munmap", tid, fail(EINVAL))
 	}
+	// Align down to the granularity: Lookup below tolerates an interior
+	// address, but Unmap wants the mapping's exact base — an unaligned va
+	// would validate and then panic on the "validated above" invariant.
+	va &^= hw.VirtAddr(size.Bytes() - 1)
 	proc := k.PM.Proc(t.OwningProc)
 	table := proc.PageTable
 	step := hw.VirtAddr(size.Bytes())

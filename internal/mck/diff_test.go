@@ -1,0 +1,42 @@
+package mck
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRunDiffSeeds is the differential oracle's bread and butter: many
+// seeds, many ops each, kernel and interpreter must agree on every
+// field of Ψ after every step.
+func TestRunDiffSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 12; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p := Generate(seed, 400)
+			res, st, err := RunDiff(p, Options{WFEvery: 64})
+			if err != nil {
+				t.Fatalf("boot: %v", err)
+			}
+			if res != nil {
+				t.Fatalf("divergence: %v", res)
+			}
+			if st.Steps == 0 {
+				t.Fatalf("no ops executed")
+			}
+		})
+	}
+}
+
+// TestRunCheckedSeeds drives the same generator through the per-syscall
+// spec predicates plus the invariant suite.
+func TestRunCheckedSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 4; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			p := Generate(seed, 250)
+			if _, err := RunChecked(p, Options{}); err != nil {
+				t.Fatalf("checked run: %v", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package mck
+
+import "atmosphere/internal/hw"
+
+// Profile is a swarm-testing op profile: the subset of the vocabulary a
+// particular seed is allowed to emit, with per-kind weights. Disabling
+// ops per run is what makes swarm testing effective — programs that
+// never create containers exercise deep endpoint queues, programs that
+// never yield exercise revocation of blocked threads, and so on;
+// uniform mixes visit such states with vanishing probability.
+type Profile struct {
+	Enabled [numKinds]bool
+	Weights [numKinds]int
+}
+
+// baseWeight biases the mix toward the stateful object ops — container
+// trees, endpoints, and the quota-heavy paths — which is where the
+// interesting divergences (accounting, revocation, rendezvous) live.
+var baseWeight = [numKinds]int{
+	KMmap:          3,
+	KMunmap:        2,
+	KNewContainer:  4,
+	KNewProcess:    3,
+	KNewProcessIn:  3,
+	KNewThreadIn:   4,
+	KExitThread:    1,
+	KNewEndpoint:   4,
+	KCloseEndpoint: 3,
+	KSend:          4,
+	KRecv:          4,
+	KCall:          2,
+	KYield:         1,
+	KKillProcess:   2,
+	KKillContainer: 3,
+	KIommuCreate:   1,
+}
+
+// NewProfile draws a swarm profile: each kind is enabled with
+// probability ~0.65, at least three kinds always survive, and enabled
+// kinds keep their base weight perturbed by a small random factor.
+func NewProfile(r *hw.Rand) Profile {
+	var p Profile
+	enabled := 0
+	for k := Kind(0); k < numKinds; k++ {
+		if r.Float64() < 0.65 {
+			p.Enabled[k] = true
+			p.Weights[k] = baseWeight[k] + r.Intn(3)
+			enabled++
+		}
+	}
+	for enabled < 3 {
+		k := Kind(r.Intn(int(numKinds)))
+		if !p.Enabled[k] {
+			p.Enabled[k] = true
+			p.Weights[k] = baseWeight[k] + r.Intn(3)
+			enabled++
+		}
+	}
+	return p
+}
+
+// pick draws a kind from the profile's weighted distribution.
+func (p Profile) pick(r *hw.Rand) Kind {
+	total := 0
+	for k := Kind(0); k < numKinds; k++ {
+		if p.Enabled[k] {
+			total += p.Weights[k]
+		}
+	}
+	n := r.Intn(total)
+	for k := Kind(0); k < numKinds; k++ {
+		if !p.Enabled[k] {
+			continue
+		}
+		n -= p.Weights[k]
+		if n < 0 {
+			return k
+		}
+	}
+	panic("mck: weighted pick fell through")
+}
+
+// Generate builds a seeded n-op program on the default machine shape:
+// one swarm profile per seed, then weighted kind draws with uniformly
+// random (typed-by-the-resolver) arguments.
+func Generate(seed uint64, n int) Program {
+	r := hw.NewRand(seed)
+	prof := NewProfile(r)
+	p := Program{Frames: DefaultFrames, Cores: DefaultCores}
+	p.Ops = make([]Op, n)
+	for i := range p.Ops {
+		p.Ops[i] = Op{
+			Kind:  prof.pick(r),
+			Actor: uint8(r.Uint64()),
+			A:     uint16(r.Uint64()),
+			B:     uint16(r.Uint64()),
+			C:     uint16(r.Uint64()),
+		}
+	}
+	return p
+}

@@ -1,0 +1,92 @@
+package mck
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/pm"
+)
+
+// mutantOptions returns Options whose Hook sabotages the kernel: after
+// the first successful new_container, the root container's page
+// accounting is silently bumped by one. The spec interpreter applies
+// the unperturbed specification, so the differential oracle must flag
+// a used_pages divergence on that very step. Hook runs once per
+// RunDiff, so the fired latch is fresh for every shrink candidate.
+func mutantOptions() Options {
+	return Options{Hook: func(k *kernel.Kernel) {
+		fired := false
+		k.PostSyscall = func(name string, _ pm.Ptr, ret kernel.Ret) {
+			if fired || name != "new_container" || ret.Errno != kernel.OK {
+				return
+			}
+			fired = true
+			k.PM.Cntr(k.PM.RootContainer).UsedPages++
+		}
+	}}
+}
+
+// TestMutationSelfTest is the oracle's proof of life: a deliberately
+// perturbed kernel transition must be (a) caught as a field-level Ψ
+// divergence, (b) shrunk to a tiny deterministic repro. If this test
+// ever passes against an oracle that has gone blind, the whole
+// differential harness is decorative.
+func TestMutationSelfTest(t *testing.T) {
+	opt := mutantOptions()
+	p := Generate(1, 400)
+	res, _, err := RunDiff(p, opt)
+	if err != nil {
+		t.Fatalf("boot: %v", err)
+	}
+	if res == nil {
+		t.Fatalf("oracle missed the planted mutation over %d ops", len(p.Ops))
+	}
+	if res.Err == nil {
+		t.Fatalf("divergence carries no field description: %+v", res)
+	}
+	t.Logf("caught: %v", res)
+
+	failing := func(q Program) bool { return Fails(q, mutantOptions()) }
+	s1 := Shrink(p, failing)
+	if len(s1.Ops) > 10 {
+		t.Fatalf("shrunk repro has %d ops, want <= 10:\n%s", len(s1.Ops), s1.EncodeRepro())
+	}
+	if !failing(s1) {
+		t.Fatalf("shrunk repro no longer fails")
+	}
+	// Shrinking is deterministic: a second pass over the same input
+	// must emit byte-identical output.
+	s2 := Shrink(p, failing)
+	if !bytes.Equal(s1.EncodeRepro(), s2.EncodeRepro()) {
+		t.Fatalf("shrink is not deterministic:\n%s\nvs\n%s", s1.EncodeRepro(), s2.EncodeRepro())
+	}
+}
+
+// TestMutationShrinkGolden pins the shrinker's minimized output for the
+// planted mutation byte-for-byte. Any change to the generator, the
+// resolver, or the ddmin schedule shows up here as a diff against
+// testdata — regenerate deliberately with UPDATE_GOLDEN=1.
+func TestMutationShrinkGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shrinking loop is slow")
+	}
+	failing := func(q Program) bool { return Fails(q, mutantOptions()) }
+	s := Shrink(Generate(1, 400), failing)
+	got := s.EncodeRepro()
+	golden := filepath.Join("testdata", "mutation_shrunk.repro")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden missing (set UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("shrunk repro drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -1,0 +1,106 @@
+package mck
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestEncodeDecodeRoundTrip: binary op encoding survives a round trip,
+// and decoding is total (any byte soup yields a valid program).
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := Generate(7, 200)
+	q := FromBytes(p.Encode())
+	if len(q.Ops) != len(p.Ops) {
+		t.Fatalf("op count %d -> %d", len(p.Ops), len(q.Ops))
+	}
+	for i := range p.Ops {
+		if p.Ops[i] != q.Ops[i] {
+			t.Fatalf("op %d: %v -> %v", i, p.Ops[i], q.Ops[i])
+		}
+	}
+	// Partial trailing op is dropped, not an error.
+	trunc := FromBytes(p.Encode()[:len(p.Ops)*opBytes-3])
+	if len(trunc.Ops) != len(p.Ops)-1 {
+		t.Fatalf("truncated decode: %d ops, want %d", len(trunc.Ops), len(p.Ops)-1)
+	}
+	// Arbitrary bytes decode to in-range kinds.
+	junk := FromBytes([]byte{0xff, 0xfe, 0xfd, 0xfc, 0xfb, 0xfa, 0xf9, 0xf8})
+	if len(junk.Ops) != 1 || junk.Ops[0].Kind >= numKinds {
+		t.Fatalf("junk decode out of range: %+v", junk.Ops)
+	}
+}
+
+// TestReproRoundTrip: the text repro format is parse(encode(p)) == p
+// and byte-deterministic.
+func TestReproRoundTrip(t *testing.T) {
+	p := Generate(11, 60)
+	p.Frames = 4096
+	p.Cores = 2
+	text := p.EncodeRepro()
+	q, err := ParseRepro(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if q.Frames != p.Frames || q.Cores != p.Cores || len(q.Ops) != len(p.Ops) {
+		t.Fatalf("shape mismatch: %+v vs %+v", q, p)
+	}
+	for i := range p.Ops {
+		if p.Ops[i] != q.Ops[i] {
+			t.Fatalf("op %d: %v -> %v", i, p.Ops[i], q.Ops[i])
+		}
+	}
+	if !bytes.Equal(text, q.EncodeRepro()) {
+		t.Fatalf("repro encoding not a fixed point")
+	}
+}
+
+func TestParseReproRejects(t *testing.T) {
+	cases := map[string]string{
+		"missing header":    "frames 1024\ncores 1\n",
+		"bad directive":     reproHeader + "\nbogus 3\n",
+		"bad kind":          reproHeader + "\nop warp actor=0 a=0 b=0 c=0\n",
+		"malformed op line": reproHeader + "\nop send actor=zero a=0 b=0 c=0\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseRepro([]byte(text)); err == nil {
+			t.Errorf("%s: parsed without error", name)
+		}
+	}
+}
+
+// TestReproRegressions replays every checked-in repro under testdata/
+// through the differential oracle. Each file is a minimized program
+// that once exposed a real kernel-vs-spec divergence; they must all
+// run clean forever after.
+func TestReproRegressions(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "repro_*.repro"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no regression repros found under testdata/")
+	}
+	for _, f := range files {
+		f := f
+		t.Run(strings.TrimSuffix(filepath.Base(f), ".repro"), func(t *testing.T) {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := ParseRepro(data)
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			res, _, err := RunDiff(p, Options{})
+			if err != nil {
+				t.Fatalf("boot: %v", err)
+			}
+			if res != nil {
+				t.Fatalf("regressed: %v", res)
+			}
+		})
+	}
+}

@@ -1,0 +1,95 @@
+package mck
+
+// Shrink minimizes a failing program with delta debugging: ddmin over
+// the op list (drop whole chunks at shrinking granularity), then arg
+// canonicalization (zero each field of each surviving op). failing must
+// be a pure predicate — typically func(q Program) bool { return
+// Fails(q, opt) } — and is assumed true for p. The result is the
+// smallest program the procedure finds that still fails, deterministic
+// for a fixed (p, failing) pair.
+func Shrink(p Program, failing func(Program) bool) Program {
+	p = ddmin(p, failing)
+	p = canonicalize(p, failing)
+	// A canonicalized arg can re-enable a drop (an op may have become a
+	// no-op); one more reduction pass picks that up cheaply.
+	p = ddmin(p, failing)
+	return p
+}
+
+func withOps(p Program, ops []Op) Program {
+	q := p
+	q.Ops = ops
+	return q
+}
+
+// ddmin is the classic Zeller/Hildebrandt reduction: try to remove
+// chunks of exponentially finer granularity until single ops remain.
+func ddmin(p Program, failing func(Program) bool) Program {
+	ops := append([]Op(nil), p.Ops...)
+	n := 2
+	for len(ops) >= 2 {
+		chunk := (len(ops) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(ops); start += chunk {
+			end := start + chunk
+			if end > len(ops) {
+				end = len(ops)
+			}
+			trial := make([]Op, 0, len(ops)-(end-start))
+			trial = append(trial, ops[:start]...)
+			trial = append(trial, ops[end:]...)
+			if len(trial) > 0 && failing(withOps(p, trial)) {
+				ops = trial
+				n = max(n-1, 2)
+				reduced = true
+				break
+			}
+		}
+		if reduced {
+			continue
+		}
+		if n >= len(ops) {
+			break
+		}
+		n = min(2*n, len(ops))
+	}
+	return withOps(p, ops)
+}
+
+// canonicalize drives every op field toward zero while the program
+// still fails, so repros read as minimally as they run: actor 0, slot
+// 0, the smallest counts and indices that preserve the failure.
+func canonicalize(p Program, failing func(Program) bool) Program {
+	ops := append([]Op(nil), p.Ops...)
+	try := func(i int, mutate func(*Op)) {
+		saved := ops[i]
+		mutate(&ops[i])
+		if ops[i] == saved {
+			return
+		}
+		if !failing(withOps(p, ops)) {
+			ops[i] = saved
+		}
+	}
+	for i := range ops {
+		try(i, func(o *Op) { o.Actor = 0 })
+		try(i, func(o *Op) { o.A = 0 })
+		try(i, func(o *Op) { o.B = 0 })
+		try(i, func(o *Op) { o.C = 0 })
+	}
+	return withOps(p, ops)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,135 @@
+package netproto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestBuildParseTCPRoundTrip: every header field and the payload
+// survive a build/parse round trip, and padding added to reach the
+// minimum frame size is stripped via the IP total length.
+func TestBuildParseTCPRoundTrip(t *testing.T) {
+	buf := make([]byte, 256)
+	payload := []byte("GET")
+	n, err := BuildTCP(buf, MAC{1}, MAC{2}, IPv4{10, 0, 0, 1}, IPv4{10, 0, 0, 2},
+		4321, 80, 0x11223344, 0x55667788, TCPSyn|TCPAck, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != MinFrameLen {
+		t.Fatalf("3-byte payload frame is %d bytes, want padded to %d", n, MinFrameLen)
+	}
+	p, err := ParseTCP(buf[:n])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.SrcPort != 4321 || p.DstPort != 80 {
+		t.Fatalf("ports %d %d", p.SrcPort, p.DstPort)
+	}
+	if p.Seq != 0x11223344 || p.Ack != 0x55667788 {
+		t.Fatalf("seq/ack %#x %#x", p.Seq, p.Ack)
+	}
+	if p.Flags != TCPSyn|TCPAck {
+		t.Fatalf("flags %#x", p.Flags)
+	}
+	if !bytes.Equal(p.Payload, payload) {
+		t.Fatalf("payload %q (padding not stripped?)", p.Payload)
+	}
+	rev := p.Tuple().Reverse()
+	if rev.SrcPort != 80 || rev.DstPort != 4321 || rev.SrcIP != p.DstIP || rev.Proto != ProtoTCP {
+		t.Fatalf("reverse tuple %+v", rev)
+	}
+}
+
+// TestParseTruncatedFrames: every prefix of a valid frame either parses
+// or errors — never panics, and never yields a payload that reaches
+// past the prefix.
+func TestParseTruncatedFrames(t *testing.T) {
+	buf := make([]byte, 256)
+	un, err := BuildUDP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 9, 10,
+		[]byte("truncate me please, I am a long payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	udpFrame := append([]byte(nil), buf[:un]...)
+	tn, err := BuildTCP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 9, 10,
+		1, 2, TCPPsh|TCPAck, []byte("truncate me too, also quite long as payloads go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tcpFrame := append([]byte(nil), buf[:tn]...)
+
+	for cut := 0; cut < len(udpFrame); cut++ {
+		if p, err := ParseUDP(udpFrame[:cut]); err == nil && len(p.Payload) > cut {
+			t.Fatalf("UDP prefix %d: payload reaches past the frame", cut)
+		}
+	}
+	// The full UDP frame must still parse after the sweep (no aliasing
+	// damage from partial parses).
+	if _, err := ParseUDP(udpFrame); err != nil {
+		t.Fatalf("full UDP frame: %v", err)
+	}
+	for cut := 0; cut < len(tcpFrame); cut++ {
+		if p, err := ParseTCP(tcpFrame[:cut]); err == nil && len(p.Payload) > cut {
+			t.Fatalf("TCP prefix %d: payload reaches past the frame", cut)
+		}
+	}
+	if _, err := ParseTCP(tcpFrame); err != nil {
+		t.Fatalf("full TCP frame: %v", err)
+	}
+}
+
+// TestParseLengthFieldLies: header length fields that point past the
+// received bytes must be rejected, not trusted.
+func TestParseLengthFieldLies(t *testing.T) {
+	buf := make([]byte, 256)
+	n, _ := BuildUDP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 9, 10, []byte("xyz"))
+	frame := append([]byte(nil), buf[:n]...)
+
+	// UDP length claiming more bytes than the frame carries.
+	udpOff := EthHeaderLen + IPv4HeaderLen
+	frame[udpOff+4], frame[udpOff+5] = 0xff, 0xff
+	if _, err := ParseUDP(frame); err != ErrTooShort {
+		t.Fatalf("lying UDP length accepted: %v", err)
+	}
+	// UDP length smaller than its own header.
+	frame[udpOff+4], frame[udpOff+5] = 0, UDPHeaderLen-1
+	if _, err := ParseUDP(frame); err != ErrTooShort {
+		t.Fatalf("undersized UDP length accepted: %v", err)
+	}
+
+	// An IHL pointing past the frame.
+	n, _ = BuildUDP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 9, 10, nil)
+	frame = append(frame[:0], buf[:n]...)
+	frame[EthHeaderLen] = 0x4f // version 4, IHL 15 -> 60-byte header
+	if _, err := ParseUDP(frame); err != ErrTooShort {
+		t.Fatalf("oversized IHL accepted: %v", err)
+	}
+
+	// TCP data offset pointing past the segment.
+	n, _ = BuildTCP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 9, 10, 1, 2, TCPAck, nil)
+	frame = append(frame[:0], buf[:n]...)
+	frame[EthHeaderLen+IPv4HeaderLen+12] = 0xf0 // offset 15 -> 60-byte header
+	if _, err := ParseTCP(frame); err != ErrTooShort {
+		t.Fatalf("lying TCP offset accepted: %v", err)
+	}
+	// TCP total length beyond the frame.
+	n, _ = BuildTCP(buf, MAC{1}, MAC{2}, IPv4{1, 2, 3, 4}, IPv4{5, 6, 7, 8}, 9, 10, 1, 2, TCPAck, nil)
+	frame = append(frame[:0], buf[:n]...)
+	frame[EthHeaderLen+2], frame[EthHeaderLen+3] = 0xff, 0xff
+	if _, err := ParseTCP(frame); err != ErrTooShort {
+		t.Fatalf("lying IP total length accepted: %v", err)
+	}
+}
+
+// TestBuildRejectsSmallBuffers: builders report ErrTooShort instead of
+// writing out of bounds.
+func TestBuildRejectsSmallBuffers(t *testing.T) {
+	small := make([]byte, MinFrameLen-1)
+	if _, err := BuildUDP(small, MAC{}, MAC{}, IPv4{}, IPv4{}, 1, 2, nil); err != ErrTooShort {
+		t.Fatalf("BuildUDP into %d bytes: %v", len(small), err)
+	}
+	if _, err := BuildTCP(small, MAC{}, MAC{}, IPv4{}, IPv4{}, 1, 2, 0, 0, 0, nil); err != ErrTooShort {
+		t.Fatalf("BuildTCP into %d bytes: %v", len(small), err)
+	}
+}

@@ -20,6 +20,13 @@ type Scheduler struct {
 	// idling (EnableWorkStealing).
 	stealing bool
 	steals   uint64
+
+	// stealSeeded switches victim selection from longest-queue to a
+	// seeded pseudo-random pick among the non-empty queues
+	// (SetStealSeed). Schedule exploration uses this to cover migration
+	// interleavings the fixed policy never produces.
+	stealSeeded bool
+	stealSeed   uint64
 }
 
 func newScheduler(cores int) *Scheduler {
@@ -102,6 +109,25 @@ func (m *ProcessManager) EnableWorkStealing() { m.sched.stealing = true }
 // Steals reports how many threads have been migrated by work stealing.
 func (m *ProcessManager) Steals() uint64 { return m.sched.steals }
 
+// SetStealSeed arms seeded victim selection for work stealing: instead
+// of always raiding the longest queue, each steal attempt picks a
+// victim among the non-empty queues via a splitmix64 stream. The policy
+// stays a pure function of (seed, steal-attempt order), so traces
+// remain reproducible per seed.
+func (m *ProcessManager) SetStealSeed(seed uint64) {
+	m.sched.stealSeeded = true
+	m.sched.stealSeed = seed
+}
+
+// nextStealRand steps the scheduler's splitmix64 stream.
+func (s *Scheduler) nextStealRand() uint64 {
+	s.stealSeed += 0x9e3779b97f4a7c15
+	z := s.stealSeed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
 // trySteal migrates a thread onto idle core: the victim is the core
 // with the longest run queue (first such core in scan order on ties),
 // the candidate the tail-most thread whose container reserves the
@@ -112,13 +138,27 @@ func (m *ProcessManager) Steals() uint64 { return m.sched.steals }
 // per attempt keeps the policy simple and the scan bounded).
 func (m *ProcessManager) trySteal(core int) Ptr {
 	s := m.sched
-	victim, best := -1, 0
-	for c := range s.queues {
-		if c == core {
-			continue
+	victim := -1
+	if s.stealSeeded {
+		// Seeded mode: pick uniformly among the non-empty queues.
+		var cands []int
+		for c := range s.queues {
+			if c != core && len(s.queues[c]) > 0 {
+				cands = append(cands, c)
+			}
 		}
-		if n := len(s.queues[c]); n > best {
-			best, victim = n, c
+		if len(cands) > 0 {
+			victim = cands[int(s.nextStealRand()%uint64(len(cands)))]
+		}
+	} else {
+		best := 0
+		for c := range s.queues {
+			if c == core {
+				continue
+			}
+			if n := len(s.queues[c]); n > best {
+				best, victim = n, c
+			}
 		}
 	}
 	if victim < 0 {

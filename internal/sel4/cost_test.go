@@ -1,0 +1,135 @@
+package sel4
+
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+	"atmosphere/internal/mem"
+	"atmosphere/internal/pt"
+)
+
+// The baseline's value is its cycle accounting: Table 3 compares seL4's
+// fastpath against Atmosphere's, so each syscall's cost must be an
+// exact, stable function of the hw cost constants. These tests pin the
+// arithmetic term by term.
+
+// lookupCost is one CNode decode: three dependent cache-line references
+// at double touch weight.
+const lookupCost = 3 * hw.CostCacheTouch * 2
+
+func TestRecvCostExact(t *testing.T) {
+	k, clk, _, server := pair(t)
+	before := clk.Cycles()
+	if err := k.Recv(server, 1); err != nil {
+		t.Fatal(err)
+	}
+	want := uint64(hw.CostSyscallEntry + lookupCost + 4*hw.CostCacheTouch + hw.CostSyscallExit)
+	if got := clk.Cycles() - before; got != want {
+		t.Fatalf("recv = %d cycles, want %d", got, want)
+	}
+}
+
+func TestCallAndReplyCostExact(t *testing.T) {
+	k, clk, client, server := pair(t)
+	if err := k.Recv(server, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Fastpath: entry, one cap lookup, endpoint update + MR transfer
+	// (the 170-cycle constant), direct switch, exit.
+	want := uint64(hw.CostSyscallEntry + lookupCost + 170 + hw.CostDirectSwitch + hw.CostSyscallExit)
+
+	before := clk.Cycles()
+	if _, err := k.Call(client, 1, [4]uint64{1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Cycles() - before; got != want {
+		t.Fatalf("call = %d cycles, want %d", got, want)
+	}
+	before = clk.Cycles()
+	if _, err := k.ReplyRecv(server, 1, [4]uint64{2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := clk.Cycles() - before; got != want {
+		t.Fatalf("reply_recv = %d cycles, want %d", got, want)
+	}
+	// The full round trip is what Table 3 reports: 2x the fastpath,
+	// within a couple of cycles of the paper's 1026 measurement.
+	if rt := 2 * want; rt < 1024 || rt > 1100 {
+		t.Fatalf("round trip = %d cycles, out of the paper's band", rt)
+	}
+}
+
+// TestPageMapOverheadExact separates Page_Map into the shared
+// page-table machinery (measured by running the identical Map4K on a
+// twin table) and seL4's capability overhead: two lookups, the ASID
+// walk, and the CDT insert. The difference must be exactly the modeled
+// overhead — that gap is the Table 3 story (2650 vs 1984 cycles).
+func TestPageMapOverheadExact(t *testing.T) {
+	phys := hw.NewPhysMem(256)
+	clk := &hw.Clock{}
+	alloc := mem.NewAllocator(phys, clk, 1)
+	k := New(alloc, clk)
+
+	tableA, err := pt.New(alloc, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tableB, err := pt.New(alloc, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameA, err := alloc.AllocUserPage4K()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frameB, err := alloc.AllocUserPage4K()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := NewCSpace(8)
+	cs.Install(1, Cap{Type: CapFrame, Object: uint64(frameA)})
+	cs.Install(2, Cap{Type: CapVSpace, Object: uint64(tableA.CR3())})
+	tcb := &TCB{CSpace: cs}
+
+	const va = hw.VirtAddr(0x400000)
+	before := clk.Cycles()
+	if err := k.PageMap(tcb, 1, 2, tableA, va); err != nil {
+		t.Fatal(err)
+	}
+	pageMapCost := clk.Cycles() - before
+
+	before = clk.Cycles()
+	if err := tableB.Map4K(va, frameB, pt.RW); err != nil {
+		t.Fatal(err)
+	}
+	rawMapCost := clk.Cycles() - before
+
+	wantOverhead := uint64(hw.CostSyscallEntry + hw.CostSyscallExit + 2*lookupCost +
+		(2*hw.CostCacheMiss + 4*hw.CostCacheTouch) + // ASID pool walk
+		(5*hw.CostCacheMiss + 10*hw.CostCacheTouch) + // CDT insert
+		hw.CostInvlpg)
+	if got := pageMapCost - rawMapCost; got != wantOverhead {
+		t.Fatalf("Page_Map capability overhead = %d cycles, want %d (total %d, raw map %d)",
+			got, wantOverhead, pageMapCost, rawMapCost)
+	}
+}
+
+// TestCostCountersTrack: the Calls/Replies/Maps counters follow the
+// operations one to one (the bench report divides cycles by them).
+func TestCostCountersTrack(t *testing.T) {
+	k, _, client, server := pair(t)
+	if err := k.Recv(server, 1); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := k.Call(client, 1, [4]uint64{}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := k.ReplyRecv(server, 1, [4]uint64{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Calls != 4 || k.Replies != 4 {
+		t.Fatalf("counters calls=%d replies=%d, want 4/4", k.Calls, k.Replies)
+	}
+}

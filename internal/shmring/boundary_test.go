@@ -1,0 +1,149 @@
+package shmring
+
+import "testing"
+
+// TestWrapAroundSoak drives the ring through many full revolutions with
+// an interleaved producer/consumer so every slot index is exercised in
+// every head/tail phase, checking strict FIFO throughout.
+func TestWrapAroundSoak(t *testing.T) {
+	const slots = 7 // coprime with the push/pop pattern below
+	p, c, _, _ := newRing(slots)
+	next, expect := uint64(0), uint64(0)
+	for round := 0; round < 200; round++ {
+		// Push a burst of 1..slots entries, then drain part of it.
+		burst := 1 + round%slots
+		for i := 0; i < burst; i++ {
+			if err := p.Push(Entry{W0: next, W1: ^next}); err != nil {
+				if err != ErrFull {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				break
+			}
+			next++
+		}
+		drain := 1 + (round/2)%slots
+		for i := 0; i < drain; i++ {
+			e, err := c.Pop()
+			if err != nil {
+				if err != ErrEmpty {
+					t.Fatalf("round %d: %v", round, err)
+				}
+				break
+			}
+			if e.W0 != expect || e.W1 != ^expect {
+				t.Fatalf("round %d: popped %d (w1 %#x), want %d", round, e.W0, e.W1, expect)
+			}
+			expect++
+		}
+	}
+	// Drain the remainder: the tail of the sequence must come out intact.
+	for {
+		e, err := c.Pop()
+		if err != nil {
+			break
+		}
+		if e.W0 != expect {
+			t.Fatalf("final drain: popped %d, want %d", e.W0, expect)
+		}
+		expect++
+	}
+	if expect != next {
+		t.Fatalf("consumed %d of %d produced entries", expect, next)
+	}
+}
+
+// TestFullEmptyBoundary walks the exact transitions at both capacity
+// edges: full -> one pop -> exactly one push fits; empty -> one push ->
+// exactly one pop succeeds.
+func TestFullEmptyBoundary(t *testing.T) {
+	p, c, _, _ := newRing(4)
+	for i := uint64(0); i < 4; i++ {
+		if err := p.Push(Entry{W0: i}); err != nil {
+			t.Fatalf("fill %d: %v", i, err)
+		}
+	}
+	if err := p.Push(Entry{W0: 99}); err != ErrFull {
+		t.Fatalf("push into full ring: %v", err)
+	}
+	if p.Len() != 4 || p.Cap() != 4 {
+		t.Fatalf("len/cap = %d/%d", p.Len(), p.Cap())
+	}
+	if _, err := c.Pop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Push(Entry{W0: 4}); err != nil {
+		t.Fatalf("push after freeing one slot: %v", err)
+	}
+	if err := p.Push(Entry{W0: 5}); err != ErrFull {
+		t.Fatalf("second push must hit full again: %v", err)
+	}
+	// Drain to empty; the boundary pop fails, a single push revives it.
+	for i := 0; i < 4; i++ {
+		if _, err := c.Pop(); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+	if _, err := c.Pop(); err != ErrEmpty {
+		t.Fatalf("pop from empty ring: %v", err)
+	}
+	if err := p.Push(Entry{W0: 7}); err != nil {
+		t.Fatal(err)
+	}
+	e, err := c.Pop()
+	if err != nil || e.W0 != 7 {
+		t.Fatalf("pop after revive: %+v %v", e, err)
+	}
+}
+
+// TestBatchAcrossWrap: a batch larger than the remaining slots stops at
+// capacity, and a pop batch crossing the physical end of the slot array
+// preserves order.
+func TestBatchAcrossWrap(t *testing.T) {
+	p, c, _, _ := newRing(6)
+	// Advance head/tail so the next pushes straddle the array end.
+	for i := uint64(0); i < 4; i++ {
+		if err := p.Push(Entry{W0: 100 + i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf [8]Entry
+	if n := c.PopBatch(buf[:4]); n != 4 {
+		t.Fatalf("warmup drain: %d", n)
+	}
+	es := make([]Entry, 8)
+	for i := range es {
+		es[i] = Entry{W0: uint64(i)}
+	}
+	if n := p.PushBatch(es); n != 6 {
+		t.Fatalf("pushed %d into 6-slot ring, want 6", n)
+	}
+	if n := c.PopBatch(buf[:]); n != 6 {
+		t.Fatalf("popped %d, want 6", n)
+	}
+	for i := 0; i < 6; i++ {
+		if buf[i].W0 != uint64(i) {
+			t.Fatalf("batch order: slot %d = %d", i, buf[i].W0)
+		}
+	}
+}
+
+// TestSingleSlotRing: the degenerate capacity-1 ring alternates
+// strictly between full and empty.
+func TestSingleSlotRing(t *testing.T) {
+	p, c, _, _ := newRing(1)
+	for i := uint64(0); i < 10; i++ {
+		if err := p.Push(Entry{W0: i}); err != nil {
+			t.Fatalf("push %d: %v", i, err)
+		}
+		if err := p.Push(Entry{W0: 999}); err != ErrFull {
+			t.Fatalf("double push %d: %v", i, err)
+		}
+		e, err := c.Pop()
+		if err != nil || e.W0 != i {
+			t.Fatalf("pop %d: %+v %v", i, e, err)
+		}
+		if _, err := c.Pop(); err != ErrEmpty {
+			t.Fatalf("double pop %d: %v", i, err)
+		}
+	}
+}

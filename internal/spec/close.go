@@ -1,0 +1,63 @@
+package spec
+
+import (
+	"fmt"
+
+	"atmosphere/internal/kernel"
+)
+
+// CloseEndpointSpec: the caller's descriptor in slot is dropped and the
+// endpoint loses one reference; the endpoint dies (and its owner is
+// credited one page) exactly when that was the last reference. A blocked
+// thread cannot be the caller, so every queued thread still holds its own
+// descriptor and the queue outlives any single close.
+func CloseEndpointSpec(old, new State, tid Ptr, slot int, ret kernel.Ret) error {
+	if ret.Errno != kernel.OK {
+		return check(Unchanged(old, new), "close_endpoint-fail changed state")
+	}
+	ot, ok := old.Threads[tid]
+	if !ok {
+		return fmt.Errorf("close_endpoint succeeded for unknown thread %#x", tid)
+	}
+	if slot < 0 || slot >= len(ot.Endpoints) || ot.Endpoints[slot] == 0 {
+		return fmt.Errorf("close_endpoint succeeded on empty slot %d", slot)
+	}
+	ep := ot.Endpoints[slot]
+	oe := old.Endpoints[ep]
+	nt := new.Threads[tid]
+	wantEndpoints := ot.Endpoints
+	wantEndpoints[slot] = 0
+	if nt.Endpoints != wantEndpoints {
+		return fmt.Errorf("descriptor slot %d not cleared", slot)
+	}
+	if ne, still := new.Endpoints[ep]; still {
+		if err := firstErr(
+			check(ne.RefCount == oe.RefCount-1, "endpoint %#x refcount %d -> %d, want -1",
+				ep, oe.RefCount, ne.RefCount),
+			check(ptrsEqual(ne.Queue, oe.Queue) && ne.OwnerCntr == oe.OwnerCntr,
+				"close_endpoint disturbed endpoint %#x", ep),
+			check(ContainersUnchangedExcept(old, new), "close_endpoint changed a container"),
+		); err != nil {
+			return err
+		}
+	} else {
+		owner := oe.OwnerCntr
+		oc, nc := old.Containers[owner], new.Containers[owner]
+		if err := firstErr(
+			check(oe.RefCount == 1, "endpoint %#x died with %d refs", ep, oe.RefCount),
+			check(len(oe.Queue) == 0, "endpoint %#x died with a non-empty queue", ep),
+			check(nc.UsedPages == oc.UsedPages-1, "owner credited %d, want 1",
+				oc.UsedPages-nc.UsedPages),
+			check(ContainersUnchangedExcept(old, new, owner),
+				"close_endpoint changed another container"),
+		); err != nil {
+			return err
+		}
+	}
+	return firstErr(
+		threadsUnchangedModSched(old, new, tid),
+		check(ProcsUnchangedExcept(old, new), "close_endpoint changed a process"),
+		check(EndpointsUnchangedExcept(old, new, ep), "close_endpoint changed another endpoint"),
+		check(SpacesUnchangedExcept(old, new), "close_endpoint changed an address space"),
+	)
+}

@@ -278,6 +278,9 @@ func MunmapSpec(old, new State, tid Ptr, va hw.VirtAddr, count int, size hw.Page
 	if err != nil {
 		return err
 	}
+	// The kernel truncates a misaligned address to its page, like the
+	// hardware walker; the specification ranges over the same base.
+	va &^= hw.VirtAddr(size.Bytes() - 1)
 	oldAS, newAS := old.AddressSpaces[proc], new.AddressSpaces[proc]
 	step := hw.VirtAddr(size.Bytes())
 	if err := check(len(newAS) == len(oldAS)-count, "munmap: domain shrank by %d, want %d",

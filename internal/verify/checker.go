@@ -252,7 +252,9 @@ func (c *Checker) IrqWait(core int, tid pm.Ptr, irq int) (kernel.Ret, error) {
 func (c *Checker) CloseEndpoint(core int, tid pm.Ptr, slot int) (kernel.Ret, error) {
 	return c.step("close_endpoint",
 		func() kernel.Ret { return c.K.SysCloseEndpoint(core, tid, slot) },
-		func(old, new spec.State, ret kernel.Ret) error { return nil })
+		func(old, new spec.State, ret kernel.Ret) error {
+			return spec.CloseEndpointSpec(old, new, tid, slot, ret)
+		})
 }
 
 // Yield is the checked SysYield.
