@@ -23,9 +23,10 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (kernel/obs/drivers/mem/pm/verify shard)"
+echo "== go test -race (kernel/obs/drivers/mem/pm/verify/cluster shard)"
 go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/... \
-    ./internal/mem/... ./internal/pm/... ./internal/verify/...
+    ./internal/mem/... ./internal/pm/... ./internal/verify/... \
+    ./internal/cluster/...
 
 echo "== fuzz smoke (10s per target)"
 go test ./internal/mck/ -run '^$' -fuzz '^FuzzDiff$' -fuzztime 10s
@@ -86,6 +87,14 @@ go run ./cmd/atmo-bench -series multicore -json -outdir "$smoke_dir" \
     -check bench_all_reference.txt
 if [ ! -s "$smoke_dir/BENCH_multicore.json" ]; then
     echo "atmo-bench: smoke run produced no BENCH_multicore.json" >&2
+    exit 1
+fi
+
+echo "== atmo-bench -series cluster smoke"
+go run ./cmd/atmo-bench -series cluster -json -outdir "$smoke_dir" \
+    -check bench_all_reference.txt
+if [ ! -s "$smoke_dir/BENCH_cluster.json" ]; then
+    echo "atmo-bench: smoke run produced no BENCH_cluster.json" >&2
     exit 1
 fi
 

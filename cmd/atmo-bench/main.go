@@ -7,6 +7,7 @@
 //	atmo-bench                  # run everything
 //	atmo-bench -experiment fig4 # one experiment
 //	atmo-bench -series multicore # the multicore scalability series
+//	atmo-bench -series cluster   # the multi-machine chaos scenario
 //	atmo-bench -list            # list experiment ids
 //	atmo-bench -json -outdir .  # also write BENCH_<id>.json per experiment
 //	atmo-bench -check bench_all_reference.txt  # exit nonzero on >10% regression
@@ -28,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or comma list, or 'all')")
-	series := flag.String("series", "", "named experiment series (multicore, paper, all); overrides -experiment")
+	series := flag.String("series", "", "named experiment series (multicore, cluster, paper, all); overrides -experiment")
 	list := flag.Bool("list", false, "list experiment ids")
 	traceOut := flag.String("trace", "", "write a Perfetto trace of the instrumented experiments to this path")
 	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump to this path")
@@ -64,7 +65,7 @@ func main() {
 		var ok bool
 		run, ok = bench.Series(*series)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown series %q (multicore, paper, all)\n", *series)
+			fmt.Fprintf(os.Stderr, "unknown series %q (multicore, cluster, paper, all)\n", *series)
 			os.Exit(2)
 		}
 	} else if *experiment == "all" {

@@ -11,6 +11,7 @@
 //	atmo-trace -workload chaos -seed 7 -o trace.json -metrics metrics.txt
 //	atmo-trace -workload ipc -ops 1000 -o trace.json
 //	atmo-trace -workload multicore -cores 4 -o trace.json
+//	atmo-trace -workload cluster -seed 1107 -o trace.json
 package main
 
 import (
@@ -19,7 +20,9 @@ import (
 	"os"
 
 	"atmosphere/internal/bench"
+	"atmosphere/internal/cluster"
 	"atmosphere/internal/drivers"
+	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, chaos, ipc, multicore")
+	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, chaos, ipc, multicore, cluster")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	ops := flag.Int("ops", 200, "operations (kv ops or ipc round trips; per-core for multicore)")
 	cores := flag.Int("cores", 4, "core count for the multicore workload")
@@ -53,8 +56,10 @@ func main() {
 		totalCycles, err = runIPC(tracer, registry, *ops)
 	case "multicore":
 		totalCycles, err = runMulticore(tracer, registry, *cores, *seed, *ops)
+	case "cluster":
+		totalCycles, err = runCluster(tracer, registry, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc, multicore)\n", *workload)
+		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc, multicore, cluster)\n", *workload)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -131,6 +136,30 @@ func runMulticore(t *obs.Tracer, m *obs.Registry, cores int, seed uint64, ops in
 		total += tc
 	}
 	return total, nil
+}
+
+// runCluster traces the multi-machine chaos scenario: the bench
+// series' kill-one-backend plan, with the fault injector's instants and
+// the cluster's kill/respawn/evict/reinstate events on one timeline.
+func runCluster(t *obs.Tracer, m *obs.Registry, seed uint64) (uint64, error) {
+	cfg := cluster.DefaultConfig()
+	cfg.Seed = seed
+	cfg.Tracer = t
+	cfg.Metrics = m
+	cfg.Plan = faults.Plan{Rules: []faults.Rule{{
+		Kind:   faults.MachineKill,
+		Period: 800 * cluster.TickCycles,
+		Until:  801 * cluster.TickCycles,
+		Target: 3, // backend 1
+	}}}
+	c, err := cluster.New(cfg)
+	if err != nil {
+		return 0, err
+	}
+	r := c.Run()
+	fmt.Printf("cluster: %d responses, %d lost, reconverge kill %d cycles, trace hash %016x\n",
+		r.Responses, r.GaveUp, r.ReconvergeKillCycles, r.TraceHash)
+	return r.KernelCycles, nil
 }
 
 // runIPC traces a bare call/reply ping-pong — the Table 3 microbench

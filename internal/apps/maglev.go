@@ -23,8 +23,14 @@ import (
 type Maglev struct {
 	backends []string
 	vips     []netproto.IPv4
-	m        uint64 // table size, prime
-	table    []int32
+	// active marks backends currently claiming table positions.
+	// Removing a backend deactivates it rather than reindexing, so
+	// every surviving backend keeps its permutation (offset, skip) and
+	// the repopulated table disrupts a minimal fraction of positions —
+	// Maglev's headline property.
+	active []bool
+	m      uint64 // table size, prime
+	table  []int32
 
 	// Stats.
 	Forwarded uint64
@@ -44,6 +50,10 @@ func NewMaglev(backends []string, addrs []netproto.IPv4, tableSize uint64) (*Mag
 		tableSize = DefaultTableSize
 	}
 	m := &Maglev{backends: backends, vips: addrs, m: tableSize}
+	m.active = make([]bool, len(backends))
+	for i := range m.active {
+		m.active[i] = true
+	}
 	m.populate()
 	return m, nil
 }
@@ -60,23 +70,34 @@ func hash64(s string, seed uint64) uint64 {
 }
 
 // populate is the algorithm from §3.4 of the Maglev paper: round-robin
-// over backends, each taking its next preferred free slot.
+// over the active backends, each taking its next preferred free slot.
+// With no active backend the table is all -1 and Lookup returns -1.
 func (m *Maglev) populate() {
 	n := len(m.backends)
 	offsets := make([]uint64, n)
 	skips := make([]uint64, n)
 	next := make([]uint64, n)
+	live := 0
 	for i, b := range m.backends {
 		offsets[i] = hash64(b, 0xc0ffee) % m.m
 		skips[i] = hash64(b, 0xdecade)%(m.m-1) + 1
+		if m.active[i] {
+			live++
+		}
 	}
 	m.table = make([]int32, m.m)
 	for i := range m.table {
 		m.table[i] = -1
 	}
+	if live == 0 {
+		return
+	}
 	filled := uint64(0)
 	for filled < m.m {
 		for i := 0; i < n && filled < m.m; i++ {
+			if !m.active[i] {
+				continue
+			}
 			c := (offsets[i] + next[i]*skips[i]) % m.m
 			for m.table[c] >= 0 {
 				next[i]++
@@ -89,7 +110,50 @@ func (m *Maglev) populate() {
 	}
 }
 
-// Lookup returns the backend index for a flow.
+// AddBackend activates a backend: a known name is reinstated (a healed
+// machine returning to the pool), an unknown one appended with addr.
+// The table is repopulated; surviving backends keep their permutations,
+// so disruption is limited to the positions the new backend claims.
+func (m *Maglev) AddBackend(name string, addr netproto.IPv4) error {
+	for i, b := range m.backends {
+		if b != name {
+			continue
+		}
+		if m.active[i] {
+			return fmt.Errorf("apps: maglev: backend %q already active", name)
+		}
+		m.active[i] = true
+		m.vips[i] = addr
+		m.populate()
+		return nil
+	}
+	m.backends = append(m.backends, name)
+	m.vips = append(m.vips, addr)
+	m.active = append(m.active, true)
+	m.populate()
+	return nil
+}
+
+// RemoveBackend deactivates a backend (a dead machine leaving the
+// pool) and repopulates the table. The backend keeps its index, so a
+// later AddBackend reinstates it with the same permutation.
+func (m *Maglev) RemoveBackend(name string) error {
+	for i, b := range m.backends {
+		if b != name {
+			continue
+		}
+		if !m.active[i] {
+			return fmt.Errorf("apps: maglev: backend %q already removed", name)
+		}
+		m.active[i] = false
+		m.populate()
+		return nil
+	}
+	return fmt.Errorf("apps: maglev: unknown backend %q", name)
+}
+
+// Lookup returns the backend index for a flow, or -1 with no active
+// backends.
 func (m *Maglev) Lookup(t netproto.FiveTuple) int {
 	h := fnv.New64a()
 	h.Write(t.SrcIP[:])
@@ -99,17 +163,41 @@ func (m *Maglev) Lookup(t netproto.FiveTuple) int {
 }
 
 // TableCounts returns how many table entries each backend owns (balance
-// verification).
+// verification). Inactive backends own zero.
 func (m *Maglev) TableCounts() []int {
 	counts := make([]int, len(m.backends))
 	for _, b := range m.table {
-		counts[b]++
+		if b >= 0 {
+			counts[b]++
+		}
 	}
 	return counts
 }
 
-// Backends returns the backend count.
+// TableSnapshot copies the lookup table — position → backend index, -1
+// for unowned — for disruption measurements.
+func (m *Maglev) TableSnapshot() []int32 {
+	out := make([]int32, len(m.table))
+	copy(out, m.table)
+	return out
+}
+
+// Backends returns the backend count (active or not).
 func (m *Maglev) Backends() int { return len(m.backends) }
+
+// ActiveBackends returns how many backends currently claim positions.
+func (m *Maglev) ActiveBackends() int {
+	n := 0
+	for _, a := range m.active {
+		if a {
+			n++
+		}
+	}
+	return n
+}
+
+// BackendAddr returns backend i's address.
+func (m *Maglev) BackendAddr(i int) netproto.IPv4 { return m.vips[i] }
 
 // ProcessCycles is the measured per-packet forwarding cost: header
 // parse, flow hash, one table load (the 64K-entry table misses L1), and
@@ -126,6 +214,9 @@ func (m *Maglev) Forward(clk *hw.Clock, frame []byte) bool {
 		return false
 	}
 	idx := m.Lookup(p.Tuple())
+	if idx < 0 {
+		return false
+	}
 	if err := netproto.RewriteDstIP(frame, m.vips[idx]); err != nil {
 		return false
 	}

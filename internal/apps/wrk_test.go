@@ -1,0 +1,96 @@
+package apps
+
+import (
+	"testing"
+
+	"atmosphere/internal/netproto"
+)
+
+// TestWrkRetryBudgetExhausts drives a client against a permanently dead
+// backend: every connection must walk deadline → backoff → retransmit
+// until the retry budget runs out, then give up — after which Next
+// returns nil instead of spinning keep-alives at a corpse.
+func TestWrkRetryBudgetExhausts(t *testing.T) {
+	var now uint64
+	w := NewWrkClient(4, "/index.html")
+	w.SetRetryPolicy(func() uint64 { return now }, 5000, 2000, 8000, 2)
+
+	// Each iteration models one scheduling quantum: drain everything
+	// sendable (responses never come), then advance time.
+	for iter := 0; iter < 1000 && w.GaveUp < 4; iter++ {
+		for i := 0; i < 2*len(w.conns); i++ {
+			if w.Next() == nil {
+				break
+			}
+		}
+		now += 500
+	}
+
+	s := w.Stats()
+	if s.GaveUp != 4 {
+		t.Fatalf("GaveUp = %d, want 4 (all connections)", s.GaveUp)
+	}
+	// Budget 2 → 3 attempts per connection: 3 timeouts, 2 retries each.
+	if s.Timeouts != 12 || s.Retries != 8 {
+		t.Fatalf("Timeouts/Retries = %d/%d, want 12/8", s.Timeouts, s.Retries)
+	}
+	// The client is done: no frame, ever, no matter how long we poll.
+	for i := 0; i < 100; i++ {
+		now += 500
+		if f := w.Next(); f != nil {
+			t.Fatalf("client still emitting frames after exhausting its budget")
+		}
+	}
+	if w.Stats() != s {
+		t.Fatalf("counters moved after give-up: %+v vs %+v", w.Stats(), s)
+	}
+}
+
+// TestWrkRetryRecovers: a reply during the retry window resets the
+// attempt counter, so a transient stall does not eat the budget.
+func TestWrkRetryRecovers(t *testing.T) {
+	var now uint64
+	w := NewWrkClient(1, "/x")
+	w.SetRetryPolicy(func() uint64 { return now }, 5000, 2000, 8000, 2)
+
+	syn := w.Next()
+	if syn == nil {
+		t.Fatal("no SYN")
+	}
+	// Let it time out once and retransmit.
+	now = 5000
+	if f := w.Next(); f != nil {
+		t.Fatal("retransmit before backoff elapsed")
+	}
+	now = 7000
+	if f := w.Next(); f == nil {
+		t.Fatal("no retransmit after backoff")
+	}
+	if w.Retries != 1 || w.Timeouts != 1 {
+		t.Fatalf("Retries/Timeouts = %d/%d, want 1/1", w.Retries, w.Timeouts)
+	}
+	// The server finally answers the SYN; the attempt counter resets.
+	reply := buildSynAck(t, w)
+	w.Consume(reply)
+	if w.Handshakes != 1 {
+		t.Fatal("handshake not recorded")
+	}
+	if w.conns[0].attempts != 0 || w.conns[0].nextTryAt != 0 {
+		t.Fatalf("retry state not reset: attempts=%d nextTryAt=%d",
+			w.conns[0].attempts, w.conns[0].nextTryAt)
+	}
+	if w.GaveUp != 0 {
+		t.Fatal("connection gave up despite recovering")
+	}
+}
+
+func buildSynAck(t *testing.T, w *WrkClient) []byte {
+	t.Helper()
+	frame := make([]byte, 128)
+	n, err := netproto.BuildTCP(frame, w.srvMAC, w.cliMAC, w.srvIP, w.cliIP,
+		80, w.conns[0].port, 7777, w.conns[0].seq+1, netproto.TCPSyn|netproto.TCPAck, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame[:n]
+}

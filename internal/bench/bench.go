@@ -87,12 +87,14 @@ func All() []Experiment {
 		{"ablation", AblationFlatVsRecursive},
 		{"degraded", DegradedNvmeThroughput},
 		{"multicore", MulticoreScaling},
+		{"cluster", ClusterChaos},
 	}
 }
 
 // Series groups experiments under a named series for `atmo-bench
-// -series`: "multicore" is the scalability series, "paper" the
-// evaluation tables and figures, "all" everything.
+// -series`: "multicore" is the scalability series, "cluster" the
+// multi-machine chaos scenario, "paper" the evaluation tables and
+// figures, "all" everything.
 func Series(name string) ([]Experiment, bool) {
 	switch name {
 	case "all":
@@ -100,10 +102,13 @@ func Series(name string) ([]Experiment, bool) {
 	case "multicore":
 		e, _ := ByID("multicore")
 		return []Experiment{e}, true
+	case "cluster":
+		e, _ := ByID("cluster")
+		return []Experiment{e}, true
 	case "paper":
 		var out []Experiment
 		for _, e := range All() {
-			if e.ID != "multicore" {
+			if e.ID != "multicore" && e.ID != "cluster" {
 				out = append(out, e)
 			}
 		}

@@ -73,7 +73,7 @@ func ParseReference(r io.Reader) (Reference, error) {
 
 // Gate direction per unit. Everything else is skipped.
 var (
-	lowerIsBetter  = map[string]bool{"cycles": true}
+	lowerIsBetter  = map[string]bool{"cycles": true, "reqs": true}
 	higherIsBetter = map[string]bool{"Mpps": true, "IOPS": true, "Kreq/s": true, "Mreq/s": true, "Mops/s": true}
 )
 

@@ -149,3 +149,34 @@ func TestWriteResultJSON(t *testing.T) {
 		t.Error("trace_hash emitted without a tracer")
 	}
 }
+
+func TestCompareClusterUnits(t *testing.T) {
+	// The cluster series' units are direction-aware: requests lost and
+	// reconvergence cycles gate downward, throughput upward.
+	ref, err := ParseReference(strings.NewReader(`=== cluster: chaos ===
+case                      measured  paper  unit
+chaos reconverge kill       180000      -  cycles
+chaos requests lost             10      -  reqs
+chaos throughput            800.00      -  Kreq/s
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := []Result{{ID: "cluster", Rows: []Row{
+		{Name: "chaos reconverge kill", Value: 400000, Unit: "cycles"}, // slower reconvergence: worse
+		{Name: "chaos requests lost", Value: 20, Unit: "reqs"},         // more lost requests: worse
+		{Name: "chaos throughput", Value: 500, Unit: "Kreq/s"},         // lower throughput: worse
+	}}}
+	regs := CompareToReference(res, ref, 10)
+	if len(regs) != 3 {
+		t.Fatalf("got %d regressions, want 3:\n%s", len(regs), strings.Join(regs, "\n"))
+	}
+	improved := []Result{{ID: "cluster", Rows: []Row{
+		{Name: "chaos reconverge kill", Value: 100000, Unit: "cycles"},
+		{Name: "chaos requests lost", Value: 2, Unit: "reqs"},
+		{Name: "chaos throughput", Value: 900, Unit: "Kreq/s"},
+	}}}
+	if regs := CompareToReference(improved, ref, 10); len(regs) != 0 {
+		t.Fatalf("improvements flagged as regressions: %v", regs)
+	}
+}

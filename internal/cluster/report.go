@@ -1,0 +1,100 @@
+package cluster
+
+// FNV-1a, matching the fault injector's trace hash so the two compose
+// into one replayability check.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Event codes mixed into the trace hash. Order and values are part of
+// the determinism contract: renumbering them changes every reference
+// hash.
+const (
+	evSend uint64 = iota + 1
+	evDeliver
+	evResponse
+	evTimeout
+	evRetry
+	evGaveUp
+	evKill
+	evRespawn
+	evStall
+	evPartition
+	evLinkDrop
+	evCorrupt
+	evMisroute
+	evRemove
+	evAdd
+	evProbe
+	evProbeMiss
+)
+
+// mix folds one event into the run's trace hash.
+func (c *Cluster) mix(code, a, b uint64) {
+	for _, w := range [3]uint64{code, a, b} {
+		for i := 0; i < 8; i++ {
+			c.hash ^= (w >> (8 * i)) & 0xff
+			c.hash *= fnvPrime
+		}
+	}
+}
+
+// Report is a run's complete accounting. Everything is cumulative
+// across machine respawns.
+type Report struct {
+	Ticks uint64
+
+	// Client side.
+	Sent, Responses, Retries, Timeouts uint64
+	GaveUp, Shed, Stragglers           uint64
+	Misses, SetRepairs                 uint64
+
+	// Tier side.
+	Delivered, Misrouted          uint64
+	DroppedNoBackend, DroppedDead uint64
+	DroppedMalformed, DroppedLink uint64
+	Corrupted                     uint64
+	Kills, Respawns               uint64
+	RemoveEvents, AddEvents       uint64
+
+	// Reconvergence SLOs (0 when the run had no such event).
+	FirstKillTick          uint64
+	InFlightAtKill         uint64
+	ReconvergeKillCycles   uint64 // first kill → Maglev eviction
+	ReconvergeReturnCycles uint64 // first respawn → Maglev reinstatement
+
+	// Latency quantiles over completed requests, in cycles.
+	P50, P99, P999 uint64
+
+	// Burned CPU across all machines and generations.
+	KernelCycles uint64
+
+	// TraceHash folds every cluster event with the injector's own
+	// hash: equal seeds must reproduce it bit for bit.
+	TraceHash uint64
+}
+
+// Report finalizes the run's accounting.
+func (c *Cluster) Report() Report {
+	r := c.rep
+	r.Ticks = c.tick
+	h := c.health
+	if h.removedAt != 0 {
+		r.ReconvergeKillCycles = (h.removedAt - h.killAt) * TickCycles
+	}
+	if h.addedAt != 0 {
+		r.ReconvergeReturnCycles = (h.addedAt - h.respawnAt) * TickCycles
+	}
+	r.P50 = c.client.latency.Quantile(0.50)
+	r.P99 = c.client.latency.Quantile(0.99)
+	r.P999 = c.client.latency.Quantile(0.999)
+	for _, m := range c.machines {
+		r.KernelCycles += m.TotalCycles()
+	}
+	r.TraceHash = c.hash ^ c.inj.TraceHash()
+	return r
+}
+
+// FaultCounts surfaces the injector's per-kind tally for logs.
+func (c *Cluster) FaultCounts() string { return c.inj.Counts() }

@@ -48,9 +48,39 @@ const (
 	// out-of-memory, exercising every caller's ENOMEM path.
 	AllocExhaust
 
+	// The machine- and link-granularity kinds below drive the cluster
+	// simulation (internal/cluster): the "entity" consulted is a whole
+	// simulated machine or inter-machine link, identified by the
+	// 1-based target id the hook passes to ShouldFor. Plans arm them
+	// either probabilistically (Rate) or on a deterministic schedule
+	// (Period); a rule with neither fires never and is rejected by
+	// Validate.
+
+	// MachineKill powers a simulated machine off mid-run: its kernel
+	// instance dies, in-flight frames addressed to it are lost, and the
+	// cluster supervisor later respawns a fresh instance.
+	MachineKill
+	// MachineStall freezes a machine for Param cycles: it stays "alive"
+	// but processes nothing, so health checks flap without a kill.
+	MachineStall
+	// LinkPartition makes a link drop every frame for Param cycles, in
+	// both directions, including frames already in flight.
+	LinkPartition
+	// LinkDelay arms one-shot extra latency: the next frame sent on the
+	// link is delayed by Param additional cycles.
+	LinkDelay
+	// LinkCorrupt corrupts the next frame sent on the link (flipped
+	// bytes), exercising the receivers' malformed-frame paths.
+	LinkCorrupt
+
 	// KindCount is the number of fault kinds.
 	KindCount
 )
+
+// clusterKind reports whether k is a machine- or link-granularity kind,
+// which must be armed by Rate or Period (a silent no-op rule for a
+// scheduled-chaos kind is almost certainly a plan bug).
+func clusterKind(k Kind) bool { return k >= MachineKill && k <= LinkCorrupt }
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -69,6 +99,16 @@ func (k Kind) String() string {
 		return "irq-spurious"
 	case AllocExhaust:
 		return "alloc-exhaust"
+	case MachineKill:
+		return "machine-kill"
+	case MachineStall:
+		return "machine-stall"
+	case LinkPartition:
+		return "link-partition"
+	case LinkDelay:
+		return "link-delay"
+	case LinkCorrupt:
+		return "link-corrupt"
 	}
 	return "fault?"
 }
@@ -76,13 +116,26 @@ func (k Kind) String() string {
 // Rule arms one fault kind: Rate is the per-opportunity injection
 // probability, [From, Until) the cycle window in which the rule is
 // active (Until == 0 means no upper bound), and Param a kind-specific
-// magnitude (stall cycles for NvmeStall).
+// magnitude (stall cycles for NvmeStall and MachineStall, partition
+// cycles for LinkPartition, extra latency for LinkDelay).
+//
+// Period, when nonzero, replaces Rate with a deterministic schedule:
+// the rule fires at the first opportunity at or after each of the
+// cycle points From+Period, From+2·Period, … (still clipped by the
+// [From, Until) window), consuming no randomness. Rate and Period are
+// mutually exclusive.
+//
+// Target restricts the rule to one entity of a multi-entity hook — the
+// 1-based machine or link id the hook passes to ShouldFor; 0 matches
+// every target.
 type Rule struct {
-	Kind  Kind
-	Rate  float64
-	From  uint64
-	Until uint64
-	Param uint64
+	Kind   Kind
+	Rate   float64
+	From   uint64
+	Until  uint64
+	Param  uint64
+	Period uint64
+	Target uint64
 }
 
 // Plan is a declarative fault plan: the set of armed rules. The zero
@@ -91,8 +144,10 @@ type Plan struct {
 	Rules []Rule
 }
 
-// Validate rejects malformed plans (rates outside [0,1], unknown
-// kinds, inverted windows).
+// Validate rejects malformed plans: rates outside [0,1], unknown
+// kinds, inverted windows, rules arming both Rate and Period, and
+// machine/link rules with neither (the zero-period rule — a scheduled
+// chaos kind that fires never is a plan bug, not a no-op).
 func (p Plan) Validate() error {
 	for i, r := range p.Rules {
 		if r.Kind < 0 || r.Kind >= KindCount {
@@ -103,6 +158,12 @@ func (p Plan) Validate() error {
 		}
 		if r.Until != 0 && r.Until <= r.From {
 			return fmt.Errorf("faults: rule %d: empty window [%d,%d)", i, r.From, r.Until)
+		}
+		if r.Rate > 0 && r.Period > 0 {
+			return fmt.Errorf("faults: rule %d: rate and period are mutually exclusive", i)
+		}
+		if clusterKind(r.Kind) && r.Rate == 0 && r.Period == 0 {
+			return fmt.Errorf("faults: rule %d: %v rule with zero rate and zero period fires never", i, r.Kind)
 		}
 	}
 	return nil
@@ -135,6 +196,9 @@ type Injector struct {
 	// now supplies the cycle-window time base (typically the machine's
 	// aggregate cycle counter).
 	now func() uint64
+	// nextAt is the next scheduled fire point per periodic rule
+	// (parallel to plan.Rules; unused entries stay 0).
+	nextAt []uint64
 
 	// Opportunities and Injected count, per kind, how often a hook
 	// consulted the injector and how often it fired.
@@ -164,28 +228,19 @@ func NewInjector(seed uint64, plan Plan, now func() uint64) (*Injector, error) {
 	if now == nil {
 		now = func() uint64 { return 0 }
 	}
-	return &Injector{
+	in := &Injector{
 		rand:      hw.NewRand(seed),
 		plan:      plan,
 		now:       now,
+		nextAt:    make([]uint64, len(plan.Rules)),
 		traceHash: 14695981039346656037, // FNV-1a offset basis
-	}, nil
-}
-
-// rule finds the first active rule of kind k, or nil.
-func (in *Injector) rule(k Kind) *Rule {
-	t := in.now()
-	for i := range in.plan.Rules {
-		r := &in.plan.Rules[i]
-		if r.Kind != k {
-			continue
-		}
-		if t < r.From || (r.Until != 0 && t >= r.Until) {
-			continue
-		}
-		return r
 	}
-	return nil
+	for i, r := range plan.Rules {
+		if r.Period > 0 {
+			in.nextAt[i] = r.From + r.Period
+		}
+	}
+	return in, nil
 }
 
 func (in *Injector) mix(w uint64) {
@@ -197,21 +252,63 @@ func (in *Injector) mix(w uint64) {
 
 // Should reports whether the fault opportunity of kind k fires, and the
 // armed rule's Param. Exactly one random draw is consumed per
-// opportunity with an active rule; inactive kinds consume none, so a
-// plan that never arms a kind leaves the random stream untouched by
-// that hook.
+// opportunity with an active probabilistic rule; inactive kinds and
+// periodic rules consume none, so a plan that never arms a kind leaves
+// the random stream untouched by that hook.
 func (in *Injector) Should(k Kind) (bool, uint64) {
+	return in.ShouldFor(k, 0)
+}
+
+// ShouldFor is Should for multi-entity hooks: target is the 1-based
+// machine or link id consulting the injector (0 for single-entity
+// hooks). The first rule of kind k whose window is active and whose
+// Target matches decides the opportunity — by one random draw
+// (probabilistic rules) or by crossing its next scheduled fire point
+// (periodic rules, no randomness consumed).
+func (in *Injector) ShouldFor(k Kind, target uint64) (bool, uint64) {
 	if in == nil {
 		return false, 0
 	}
 	in.Opportunities[k]++
-	r := in.rule(k)
-	if r == nil || r.Rate == 0 {
-		return false, 0
+	t := in.now()
+	for i := range in.plan.Rules {
+		r := &in.plan.Rules[i]
+		if r.Kind != k {
+			continue
+		}
+		if t < r.From || (r.Until != 0 && t >= r.Until) {
+			continue
+		}
+		if r.Target != 0 && target != 0 && r.Target != target {
+			continue
+		}
+		if r.Period > 0 {
+			if t < in.nextAt[i] {
+				return false, 0
+			}
+			// Advance past every crossed point so one boundary fires at
+			// most one opportunity, however late the hook consults.
+			for in.nextAt[i] <= t {
+				in.nextAt[i] += r.Period
+			}
+			in.fire(k, r)
+			return true, r.Param
+		}
+		if r.Rate == 0 {
+			return false, 0
+		}
+		if in.rand.Float64() >= r.Rate {
+			return false, 0
+		}
+		in.fire(k, r)
+		return true, r.Param
 	}
-	if in.rand.Float64() >= r.Rate {
-		return false, 0
-	}
+	return false, 0
+}
+
+// fire records one injected fault on the counters, the trace hash, and
+// the tracer.
+func (in *Injector) fire(k Kind, r *Rule) {
 	in.Injected[k]++
 	in.traceLen++
 	in.mix(uint64(k))
@@ -220,7 +317,6 @@ func (in *Injector) Should(k Kind) (bool, uint64) {
 	if in.tr != nil {
 		in.tr.Instant(in.track, in.kindNames[k], in.now(), r.Param)
 	}
-	return true, r.Param
 }
 
 // Hit is the single-value form of Should for hooks that need no Param.

@@ -1,22 +1,151 @@
 package faults
 
-import "testing"
+import (
+	"strings"
+	"testing"
+
+	"atmosphere/internal/hw"
+)
 
 func TestPlanValidate(t *testing.T) {
 	bad := []Plan{
 		{Rules: []Rule{{Kind: KindCount, Rate: 0.5}}},
+		{Rules: []Rule{{Kind: Kind(-1), Rate: 0.5}}},
 		{Rules: []Rule{{Kind: NvmeCmdError, Rate: 1.5}}},
 		{Rules: []Rule{{Kind: NvmeCmdError, Rate: -0.1}}},
 		{Rules: []Rule{{Kind: NvmeCmdError, Rate: 0.5, From: 100, Until: 50}}},
+		// Rate and Period are mutually exclusive.
+		{Rules: []Rule{{Kind: MachineKill, Rate: 0.5, Period: 100}}},
+		// The zero-period rule: a machine/link kind that fires never.
+		{Rules: []Rule{{Kind: MachineKill}}},
+		{Rules: []Rule{{Kind: MachineStall, Param: 500}}},
+		{Rules: []Rule{{Kind: LinkPartition, Target: 2}}},
+		{Rules: []Rule{{Kind: LinkCorrupt, From: 10, Until: 20}}},
 	}
 	for i, p := range bad {
 		if err := p.Validate(); err == nil {
 			t.Errorf("plan %d validated but should not have", i)
 		}
 	}
-	good := Plan{Rules: []Rule{{Kind: NvmeStall, Rate: 0.01, From: 0, Until: 0, Param: 1000}}}
-	if err := good.Validate(); err != nil {
-		t.Errorf("good plan rejected: %v", err)
+	good := []Plan{
+		{Rules: []Rule{{Kind: NvmeStall, Rate: 0.01, From: 0, Until: 0, Param: 1000}}},
+		{Rules: []Rule{{Kind: MachineKill, Period: 1000, Target: 3}}},
+		{Rules: []Rule{{Kind: MachineStall, Rate: 0.01, Param: 500}}},
+		{Rules: []Rule{{Kind: LinkDelay, Period: 50, From: 100, Until: 900, Param: 40}}},
+		// Non-cluster kinds may also be periodic.
+		{Rules: []Rule{{Kind: NvmeCmdError, Period: 10}}},
+		// A zero-rate rule for a non-cluster kind stays a valid no-op.
+		{Rules: []Rule{{Kind: IRQDrop}}},
+	}
+	for i, p := range good {
+		if err := p.Validate(); err != nil {
+			t.Errorf("good plan %d rejected: %v", i, err)
+		}
+	}
+}
+
+func TestMachineKindNames(t *testing.T) {
+	want := map[Kind]string{
+		MachineKill:   "machine-kill",
+		MachineStall:  "machine-stall",
+		LinkPartition: "link-partition",
+		LinkDelay:     "link-delay",
+		LinkCorrupt:   "link-corrupt",
+	}
+	for k, name := range want {
+		if k.String() != name {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), name)
+		}
+	}
+}
+
+func TestPeriodicRule(t *testing.T) {
+	var now uint64
+	plan := Plan{Rules: []Rule{{Kind: MachineKill, Period: 100, Param: 7}}}
+	in, err := NewInjector(1, plan, func() uint64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Before the first boundary (From+Period = 100): never fires.
+	for now = 0; now < 100; now += 10 {
+		if hit, _ := in.ShouldFor(MachineKill, 1); hit {
+			t.Fatalf("periodic rule fired at %d, before first boundary", now)
+		}
+	}
+	now = 130 // late consult: one crossed boundary fires exactly once
+	hit, param := in.ShouldFor(MachineKill, 1)
+	if !hit || param != 7 {
+		t.Fatalf("boundary 100 did not fire at consult 130 (hit=%v param=%d)", hit, param)
+	}
+	if hit, _ := in.ShouldFor(MachineKill, 2); hit {
+		t.Fatal("boundary 100 fired twice")
+	}
+	now = 250 // boundary 200 crossed
+	if hit, _ := in.ShouldFor(MachineKill, 1); !hit {
+		t.Fatal("boundary 200 did not fire")
+	}
+	if in.Injected[MachineKill] != 2 {
+		t.Fatalf("injected %d, want 2", in.Injected[MachineKill])
+	}
+}
+
+func TestPeriodicRespectsWindow(t *testing.T) {
+	var now uint64
+	plan := Plan{Rules: []Rule{{Kind: LinkPartition, Period: 100, From: 0, Until: 150}}}
+	in, err := NewInjector(1, plan, func() uint64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 120
+	if hit, _ := in.ShouldFor(LinkPartition, 1); !hit {
+		t.Fatal("boundary 100 inside window did not fire")
+	}
+	now = 220 // boundary 200 is past Until
+	if hit, _ := in.ShouldFor(LinkPartition, 1); hit {
+		t.Fatal("fired outside the [0,150) window")
+	}
+}
+
+func TestTargetedRule(t *testing.T) {
+	var now uint64
+	plan := Plan{Rules: []Rule{{Kind: MachineStall, Period: 100, Target: 2, Param: 9}}}
+	in, err := NewInjector(1, plan, func() uint64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 150
+	if hit, _ := in.ShouldFor(MachineStall, 1); hit {
+		t.Fatal("rule targeting 2 fired for target 1")
+	}
+	hit, param := in.ShouldFor(MachineStall, 2)
+	if !hit || param != 9 {
+		t.Fatalf("rule targeting 2 did not fire for target 2 (hit=%v param=%d)", hit, param)
+	}
+	// Periodic fires consume no randomness: the stream is untouched.
+	if got, ref := in.rand.Uint64(), hw.NewRand(1).Uint64(); got != ref {
+		t.Fatalf("periodic/targeted consults perturbed the random stream: %#x vs %#x", got, ref)
+	}
+}
+
+func TestCountsIncludesMachineKinds(t *testing.T) {
+	var now uint64
+	plan := Plan{Rules: []Rule{
+		{Kind: MachineKill, Period: 100},
+		{Kind: LinkCorrupt, Rate: 1},
+	}}
+	in, err := NewInjector(1, plan, func() uint64 { return now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	now = 150
+	in.ShouldFor(MachineKill, 1)
+	in.ShouldFor(MachineKill, 2)
+	in.ShouldFor(LinkCorrupt, 1)
+	s := in.Counts()
+	for _, frag := range []string{"machine-kill=1/2", "link-corrupt=1/1"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("Counts() = %q, missing %q", s, frag)
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 )
 
@@ -108,6 +109,35 @@ func (h *Histogram) Mean() float64 {
 		return 0
 	}
 	return float64(h.sum) / float64(h.n)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
+// the bucket holding the rank-q sample — a conservative (never
+// under-reporting) estimate, which is what an SLO check wants. Samples
+// in the overflow bucket saturate to twice the last bound. Returns 0
+// with no samples.
+func (h *Histogram) Quantile(q float64) uint64 {
+	if h == nil || h.n == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.n)))
+	if rank == 0 {
+		rank = 1
+	}
+	if rank > h.n {
+		rank = h.n
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen >= rank {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return 2 * h.bounds[len(h.bounds)-1]
+		}
+	}
+	return 2 * h.bounds[len(h.bounds)-1]
 }
 
 // Registry is the named-metric table. The simulation is single-threaded

@@ -102,3 +102,38 @@ func TestWriteTextDeterministicDump(t *testing.T) {
 		t.Errorf("dump:\n%s\nwant:\n%s", b.String(), want)
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20, 40, 80})
+	if h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile should be 0")
+	}
+	// 100 samples: 50 in le10, 40 in le20, 9 in le40, 1 overflow.
+	for i := 0; i < 50; i++ {
+		h.Observe(5)
+	}
+	for i := 0; i < 40; i++ {
+		h.Observe(15)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(30)
+	}
+	h.Observe(1000)
+	cases := []struct {
+		q    float64
+		want uint64
+	}{
+		{0.25, 10}, {0.5, 10}, {0.9, 20}, {0.99, 40},
+		{0.999, 160}, // overflow saturates to 2x last bound
+		{1.0, 160},
+	}
+	for _, c := range cases {
+		if got := h.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %d, want %d", c.q, got, c.want)
+		}
+	}
+	var nilH *Histogram
+	if nilH.Quantile(0.99) != 0 {
+		t.Fatal("nil histogram quantile should be 0")
+	}
+}
