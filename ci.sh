@@ -98,4 +98,31 @@ if [ ! -s "$smoke_dir/BENCH_cluster.json" ]; then
     exit 1
 fi
 
+echo "== atmo-trace -workload cluster -merged smoke (byte determinism)"
+go run ./cmd/atmo-trace -workload cluster -merged -seed 1107 \
+    -o "$smoke_dir/merged_a.json" > "$smoke_dir/merged_a.txt"
+go run ./cmd/atmo-trace -workload cluster -merged -seed 1107 \
+    -o "$smoke_dir/merged_b.json" > "$smoke_dir/merged_b.txt"
+if [ ! -s "$smoke_dir/merged_a.json" ]; then
+    echo "atmo-trace: merged smoke produced an empty export" >&2
+    exit 1
+fi
+if ! cmp -s "$smoke_dir/merged_a.json" "$smoke_dir/merged_b.json"; then
+    echo "atmo-trace: merged export is not byte-deterministic across same-seed runs" >&2
+    exit 1
+fi
+# The "wrote <path>" line names the (different) output files; everything
+# else on stdout must be identical.
+grep -v '^wrote ' "$smoke_dir/merged_a.txt" > "$smoke_dir/merged_a.flt"
+grep -v '^wrote ' "$smoke_dir/merged_b.txt" > "$smoke_dir/merged_b.flt"
+if ! cmp -s "$smoke_dir/merged_a.flt" "$smoke_dir/merged_b.flt"; then
+    echo "atmo-trace: merged attribution report is not deterministic" >&2
+    exit 1
+fi
+if ! grep -q "distributed trace attribution" "$smoke_dir/merged_a.txt"; then
+    echo "atmo-trace: merged smoke printed no attribution report" >&2
+    cat "$smoke_dir/merged_a.txt" >&2
+    exit 1
+fi
+
 echo "ci: all checks passed"

@@ -12,6 +12,13 @@
 //	atmo-trace -workload ipc -ops 1000 -o trace.json
 //	atmo-trace -workload multicore -cores 4 -o trace.json
 //	atmo-trace -workload cluster -seed 1107 -o trace.json
+//	atmo-trace -workload cluster -merged -seed 1107 -o merged.json
+//
+// With -merged the cluster workload runs with distributed tracing on
+// and -o receives the merged multi-machine trace instead: one process
+// track per participant (client, lb, every backend) with flow arrows
+// linking each request's hops, plus a critical-path attribution report
+// on stdout.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/dist"
 	"atmosphere/internal/obs/profile"
 	"atmosphere/internal/pm"
 )
@@ -39,12 +47,18 @@ func main() {
 	metricsOut := flag.String("metrics", "", "metrics dump output path (empty = skip)")
 	profileOut := flag.String("profile", "", "write <prefix>.folded and <prefix>.pb.gz cycle profiles (empty = skip)")
 	events := flag.Int("events", obs.DefaultEventCapacity, "tracer ring capacity (events)")
+	merged := flag.Bool("merged", false, "cluster workload: distributed tracing on, write the merged multi-machine trace to -o")
 	flag.Parse()
+	if *merged && *workload != "cluster" {
+		fmt.Fprintln(os.Stderr, "atmo-trace: -merged requires -workload cluster")
+		os.Exit(2)
+	}
 
 	tracer := obs.NewTracer(*events)
 	registry := obs.NewRegistry()
 
 	var totalCycles uint64
+	var distCol *dist.Collector
 	var err error
 	switch *workload {
 	case "kvstore":
@@ -57,7 +71,7 @@ func main() {
 	case "multicore":
 		totalCycles, err = runMulticore(tracer, registry, *cores, *seed, *ops)
 	case "cluster":
-		totalCycles, err = runCluster(tracer, registry, *seed)
+		totalCycles, distCol, err = runCluster(tracer, registry, *seed, *merged)
 	default:
 		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc, multicore, cluster)\n", *workload)
 		os.Exit(2)
@@ -70,7 +84,12 @@ func main() {
 	if err != nil {
 		fail(err)
 	}
-	if err := obs.WriteTrace(f, tracer); err != nil {
+	if *merged {
+		err = dist.WriteMerged(f, distCol)
+	} else {
+		err = obs.WriteTrace(f, tracer)
+	}
+	if err != nil {
 		fail(err)
 	}
 	if err := f.Close(); err != nil {
@@ -95,6 +114,15 @@ func main() {
 			fail(err)
 		}
 		fmt.Println(p.Describe(*profileOut))
+	}
+
+	if *merged {
+		if err := distCol.Attribution(5).WriteText(os.Stdout); err != nil {
+			fail(err)
+		}
+		for _, line := range distCol.PressureNotes() {
+			fmt.Println(line)
+		}
 	}
 
 	coverage := 0.0
@@ -141,11 +169,14 @@ func runMulticore(t *obs.Tracer, m *obs.Registry, cores int, seed uint64, ops in
 // runCluster traces the multi-machine chaos scenario: the bench
 // series' kill-one-backend plan, with the fault injector's instants and
 // the cluster's kill/respawn/evict/reinstate events on one timeline.
-func runCluster(t *obs.Tracer, m *obs.Registry, seed uint64) (uint64, error) {
+// With merged set, distributed tracing is on and the returned collector
+// holds every participant's request spans for the merged export.
+func runCluster(t *obs.Tracer, m *obs.Registry, seed uint64, merged bool) (uint64, *dist.Collector, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.Seed = seed
 	cfg.Tracer = t
 	cfg.Metrics = m
+	cfg.DistTracing = merged
 	cfg.Plan = faults.Plan{Rules: []faults.Rule{{
 		Kind:   faults.MachineKill,
 		Period: 800 * cluster.TickCycles,
@@ -154,12 +185,12 @@ func runCluster(t *obs.Tracer, m *obs.Registry, seed uint64) (uint64, error) {
 	}}}
 	c, err := cluster.New(cfg)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	r := c.Run()
 	fmt.Printf("cluster: %d responses, %d lost, reconverge kill %d cycles, trace hash %016x\n",
 		r.Responses, r.GaveUp, r.ReconvergeKillCycles, r.TraceHash)
-	return r.KernelCycles, nil
+	return r.KernelCycles, c.Dist(), nil
 }
 
 // runIPC traces a bare call/reply ping-pong — the Table 3 microbench

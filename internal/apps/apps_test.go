@@ -315,3 +315,48 @@ func TestKVRequestEncoding(t *testing.T) {
 		t.Fatal("overflow accepted")
 	}
 }
+
+// TestKVServePayload pins the payload-level entry point the cluster's
+// traced backends use: identical semantics and cycle charge to Serve,
+// minus the UDP parse.
+func TestKVServePayload(t *testing.T) {
+	s, err := NewKVStore(64, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := &hw.Clock{}
+	key := []byte("k0000000")
+	val := []byte("v0000000")
+
+	var buf [64]byte
+	n, err := BuildKVRequest(buf[:], KVSet, key, val)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := clk.Cycles()
+	if !s.ServePayload(clk, buf[:n]) {
+		t.Fatal("SET via ServePayload failed")
+	}
+	if buf[0] != 1 {
+		t.Fatalf("SET status = %d", buf[0])
+	}
+	if clk.Cycles()-before < ServeCycles {
+		t.Fatal("ServePayload did not charge the protocol overhead")
+	}
+
+	n, err = BuildKVRequest(buf[:], KVGet, key, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.ServePayload(clk, buf[:n]) {
+		t.Fatal("GET via ServePayload failed")
+	}
+	if buf[0] != 1 || string(buf[1:9]) != string(val) {
+		t.Fatalf("GET reply = % x", buf[:9])
+	}
+
+	// Truncated payloads are rejected, not served.
+	if s.ServePayload(clk, buf[:2]) {
+		t.Fatal("truncated payload was served")
+	}
+}

@@ -169,27 +169,44 @@ const ServeCycles = 72
 func (s *KVStore) Serve(clk *hw.Clock, frame []byte) bool {
 	clk.Charge(ServeCycles)
 	p, err := netproto.ParseUDP(frame)
-	if err != nil || len(p.Payload) < 3 {
+	if err != nil {
 		return false
 	}
-	op := p.Payload[0]
-	klen := int(binary.LittleEndian.Uint16(p.Payload[1:3]))
-	if len(p.Payload) < 3+klen {
+	return s.servePayload(clk, p.Payload)
+}
+
+// ServePayload handles one request payload in place — the entry point
+// for callers that have already parsed the frame and stripped any
+// transport prefix (the cluster's distributed-trace header travels
+// ahead of the kv request, so its backends serve the sub-slice after
+// it). Charges the same ServeCycles protocol overhead as Serve.
+func (s *KVStore) ServePayload(clk *hw.Clock, payload []byte) bool {
+	clk.Charge(ServeCycles)
+	return s.servePayload(clk, payload)
+}
+
+func (s *KVStore) servePayload(clk *hw.Clock, payload []byte) bool {
+	if len(payload) < 3 {
 		return false
 	}
-	key := p.Payload[3 : 3+klen]
+	op := payload[0]
+	klen := int(binary.LittleEndian.Uint16(payload[1:3]))
+	if len(payload) < 3+klen {
+		return false
+	}
+	key := payload[3 : 3+klen]
 	switch op {
 	case KVGet:
 		val, okk := s.Get(clk, key)
 		if okk {
-			p.Payload[0] = 1
-			copy(p.Payload[1:], val)
+			payload[0] = 1
+			copy(payload[1:], val)
 		} else {
-			p.Payload[0] = 0
+			payload[0] = 0
 		}
 		return true
 	case KVSet:
-		rest := p.Payload[3+klen:]
+		rest := payload[3+klen:]
 		if len(rest) < 2 {
 			return false
 		}
@@ -199,9 +216,9 @@ func (s *KVStore) Serve(clk *hw.Clock, frame []byte) bool {
 		}
 		okk := s.Set(clk, key, rest[2:2+vlen])
 		if okk {
-			p.Payload[0] = 1
+			payload[0] = 1
 		} else {
-			p.Payload[0] = 0
+			payload[0] = 0
 		}
 		return true
 	}

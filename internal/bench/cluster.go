@@ -6,6 +6,7 @@ import (
 	"atmosphere/internal/cluster"
 	"atmosphere/internal/faults"
 	"atmosphere/internal/hw"
+	"atmosphere/internal/obs/dist"
 )
 
 // The cluster chaos series (`-series cluster`): the multi-machine
@@ -38,11 +39,15 @@ func ClusterChaos() (Result, error) {
 		ID:    "cluster",
 		Title: "Cluster serving tier: Maglev failover under machine kill (simulated)",
 	}
-	steady, err := runCluster("cluster.steady", faults.Plan{})
+	steady, _, err := runCluster("cluster.steady", faults.Plan{}, false)
 	if err != nil {
 		return Result{}, err
 	}
-	chaos, err := runCluster("cluster.chaos", clusterChaosPlan())
+	// The chaos phase runs with distributed tracing on: tracing is
+	// cycle-free (TestTracingIsFreeCluster), so every gated row below
+	// is untouched, and the ungated notes gain the tail-latency
+	// attribution and per-machine tracer pressure.
+	chaos, col, err := runCluster("cluster.chaos", clusterChaosPlan(), true)
 	if err != nil {
 		return Result{}, err
 	}
@@ -76,18 +81,32 @@ func ClusterChaos() (Result, error) {
 		fmt.Sprintf("in flight at kill %d, lost %d (<5%% SLO); trace hashes steady %#x chaos %#x",
 			chaos.InFlightAtKill, chaos.GaveUp, steady.TraceHash, chaos.TraceHash),
 	)
+	attr := col.Attribution(1)
+	comp := func(c dist.Components) string {
+		return fmt.Sprintf("queue %d + link %d + lb %d + backend %d + backoff %d",
+			c.ClientQueue, c.Link, c.LB, c.Backend, c.Backoff)
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("chaos traces: %d completed, %d abandoned, %d stale; attribution share %s of %d total cycles",
+			attr.Completed, attr.Abandoned, attr.Stale, comp(attr.Comp), attr.TotalLatency))
+	for _, row := range attr.Rows {
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("chaos %s trace: %d cycles = %s", row.Label, row.Rec.Latency, comp(row.Rec.Comp)))
+	}
+	res.Notes = append(res.Notes, col.PressureNotes()...)
 	return res, nil
 }
 
-func runCluster(name string, plan faults.Plan) (cluster.Report, error) {
+func runCluster(name string, plan faults.Plan, traced bool) (cluster.Report, *dist.Collector, error) {
 	cfg := cluster.DefaultConfig()
 	cfg.Name = name
 	cfg.Plan = plan
 	cfg.Tracer = benchTracer
 	cfg.Metrics = benchMetrics
+	cfg.DistTracing = traced
 	c, err := cluster.New(cfg)
 	if err != nil {
-		return cluster.Report{}, fmt.Errorf("bench: cluster: %w", err)
+		return cluster.Report{}, nil, fmt.Errorf("bench: cluster: %w", err)
 	}
-	return c.Run(), nil
+	return c.Run(), c.Dist(), nil
 }

@@ -1,0 +1,87 @@
+package bench
+
+import (
+	"testing"
+
+	"atmosphere/internal/cluster"
+	"atmosphere/internal/faults"
+)
+
+// The cluster analog of TestTracingIsFree: distributed tracing must be
+// cycle-free. These baselines were captured on the untraced build
+// (DefaultConfig, 2000 ticks; chaos = the bench kill plan): the
+// untraced run must still reproduce them bit for bit, and the traced
+// run must charge the identical cycles and produce the identical
+// report in every field except the trace hash (the 16 header bytes on
+// each frame are hashed) and the Dist* tallies themselves.
+const (
+	clusterBaseSteadyHash   = 0x540cd10528418b6b
+	clusterBaseSteadyCycles = 14194486
+	clusterBaseChaosHash    = 0x766d9033f95ed8df
+	clusterBaseChaosCycles  = 13997628
+	clusterBaseResponses    = 15968
+)
+
+func TestTracingIsFreeCluster(t *testing.T) {
+	run := func(plan faults.Plan, traced bool) cluster.Report {
+		cfg := cluster.DefaultConfig()
+		cfg.Plan = plan
+		cfg.DistTracing = traced
+		c, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Run()
+	}
+	cases := []struct {
+		name         string
+		plan         faults.Plan
+		hash, cycles uint64
+	}{
+		{"steady", faults.Plan{}, clusterBaseSteadyHash, clusterBaseSteadyCycles},
+		{"chaos", clusterChaosPlan(), clusterBaseChaosHash, clusterBaseChaosCycles},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			off := run(tc.plan, false)
+			if off.TraceHash != tc.hash {
+				t.Errorf("untraced trace hash %#x, baseline %#x — the run itself drifted", off.TraceHash, tc.hash)
+			}
+			if off.KernelCycles != tc.cycles {
+				t.Errorf("untraced kernel cycles %d, baseline %d", off.KernelCycles, tc.cycles)
+			}
+			if off.Responses != clusterBaseResponses {
+				t.Errorf("untraced responses %d, baseline %d", off.Responses, clusterBaseResponses)
+			}
+
+			on := run(tc.plan, true)
+			if on.KernelCycles != off.KernelCycles {
+				t.Errorf("tracing moved the cluster: %d -> %d cycles", off.KernelCycles, on.KernelCycles)
+			}
+			if on.TraceHash == off.TraceHash {
+				t.Error("traced run hashed identically — the header bytes never reached the wire")
+			}
+			if on.DistCompleted == 0 || on.DistTraceEvents == 0 {
+				t.Errorf("traced run recorded nothing (completed=%d events=%d) — the guard proved nothing",
+					on.DistCompleted, on.DistTraceEvents)
+			}
+			if on.DistCompleted+on.DistStale != on.Responses {
+				t.Errorf("trace joins don't reconcile: completed %d + stale %d != responses %d",
+					on.DistCompleted, on.DistStale, on.Responses)
+			}
+			if on.DistIrregular != 0 || on.DistHeaderRejects != 0 {
+				t.Errorf("irregular=%d rejects=%d, want 0/0", on.DistIrregular, on.DistHeaderRejects)
+			}
+			// Every other field must match exactly: normalize the two
+			// deliberate differences away and compare wholesale.
+			norm := on
+			norm.TraceHash = off.TraceHash
+			norm.DistCompleted, norm.DistAbandoned, norm.DistOrphaned = 0, 0, 0
+			norm.DistStale, norm.DistHeaderRejects, norm.DistIrregular = 0, 0, 0
+			norm.DistTraceEvents, norm.DistTraceDropped = 0, 0
+			if norm != off {
+				t.Errorf("tracing changed the run:\noff = %+v\non  = %+v", off, on)
+			}
+		})
+	}
+}

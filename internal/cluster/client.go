@@ -94,7 +94,7 @@ func (cl *client) step(tick uint64) {
 		f.firstAt = tick
 		f.sentAt = tick
 		f.attempts = 0
-		cl.transmit(i, tick)
+		cl.transmit(i, c.dist.BeginRequest(i, tick))
 		c.rep.Sent++
 	}
 	for i := range cl.flows {
@@ -109,6 +109,7 @@ func (cl *client) step(tick uint64) {
 			if f.attempts >= c.cfg.RetryBudget {
 				c.rep.GaveUp++
 				c.mix(evGaveUp, uint64(i), tick)
+				c.dist.Abandon(i, tick)
 				f.state = flowIdle
 				continue
 			}
@@ -119,13 +120,14 @@ func (cl *client) step(tick uint64) {
 			}
 			f.nextTryAt = tick + backoff
 			f.state = flowBackoff
+			c.dist.Timeout(i, tick)
 		case flowBackoff:
 			if tick < f.nextTryAt {
 				continue
 			}
 			f.state = flowWaiting
 			f.sentAt = tick
-			cl.transmit(i, tick)
+			cl.transmit(i, c.dist.Retry(i, tick))
 			c.rep.Retries++
 			c.mix(evRetry, uint64(i), tick)
 		}
@@ -145,23 +147,33 @@ func (cl *client) nextIdle() (int, bool) {
 }
 
 // transmit builds and queues flow i's current request toward the VIP.
-func (cl *client) transmit(i int, tick uint64) {
+// With tracing on the attempt's trace header travels ahead of the kv
+// request (hop 0, no parent — the client is the root).
+func (cl *client) transmit(i int, traceID uint64) {
 	f := &cl.flows[i]
 	binary.LittleEndian.PutUint64(cl.key[:], uint64(i))
-	var payload [32]byte
+	var payload [64]byte
+	var off int
+	if cl.c.dist != nil {
+		var err error
+		off, err = netproto.EncodeTraceHeader(payload[:], netproto.TraceHeader{TraceID: traceID})
+		if err != nil {
+			panic(err)
+		}
+	}
 	var n int
 	var err error
 	if f.op == apps.KVSet {
 		binary.LittleEndian.PutUint64(cl.val[:], uint64(i)^0xa5a5)
-		n, err = apps.BuildKVRequest(payload[:], apps.KVSet, cl.key[:], cl.val[:])
+		n, err = apps.BuildKVRequest(payload[off:], apps.KVSet, cl.key[:], cl.val[:])
 	} else {
-		n, err = apps.BuildKVRequest(payload[:], apps.KVGet, cl.key[:], nil)
+		n, err = apps.BuildKVRequest(payload[off:], apps.KVGet, cl.key[:], nil)
 	}
 	if err != nil {
 		panic(err)
 	}
 	fn, err := netproto.BuildUDP(cl.frame[:], cl.mac, lbMAC, cl.ip, lbIP,
-		flowPort(i), 80, payload[:n])
+		flowPort(i), 80, payload[:off+n])
 	if err != nil {
 		panic(err)
 	}
@@ -176,6 +188,22 @@ func (cl *client) consume(data []byte, tick uint64) {
 		c.rep.DroppedMalformed++
 		return
 	}
+	body := p.Payload
+	var traceID uint64
+	if c.dist != nil {
+		// Traced replies echo the request's header ahead of the kv
+		// status. A header that fails to decode (corruption) is
+		// counted and the frame dropped — it must never join, let
+		// alone complete, someone else's trace.
+		hdr, rest, err := netproto.DecodeTraceHeader(p.Payload)
+		if err != nil || len(rest) == 0 {
+			c.dist.RejectHeader()
+			c.rep.DroppedMalformed++
+			return
+		}
+		body = rest
+		traceID = hdr.TraceID
+	}
 	i := int(p.DstPort) - 40000
 	if i < 0 || i >= len(cl.flows) {
 		c.rep.DroppedMalformed++
@@ -188,10 +216,16 @@ func (cl *client) consume(data []byte, tick uint64) {
 		c.rep.Stragglers++
 		return
 	}
+	// Join the completion to its trace. A false return (a stale
+	// attempt's reply arriving while a newer request occupies the
+	// flow) is counted by the collector; the flow itself behaves
+	// identically either way, keeping traced and untraced runs in
+	// cycle lockstep.
+	c.dist.Complete(traceID, i, tick)
 	cl.latency.Observe((tick - f.firstAt) * TickCycles)
 	c.rep.Responses++
 	c.mix(evResponse, uint64(i), tick)
-	if f.op == apps.KVGet && p.Payload[0] == 0 {
+	if f.op == apps.KVGet && body[0] == 0 {
 		c.rep.Misses++
 		f.needsSet = true
 	} else {

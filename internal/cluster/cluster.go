@@ -17,6 +17,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/netproto"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/dist"
 )
 
 // TickCycles is the simulation quantum: every tick advances the shared
@@ -56,6 +57,15 @@ type Config struct {
 
 	// Supervisor respawn delay, in ticks.
 	RespawnDelayTicks uint64
+
+	// Distributed tracing (internal/obs/dist): when on, every request
+	// carries a 16-byte trace header, each machine records per-hop
+	// spans on its own tracer, and the run can export a merged
+	// multi-machine Perfetto trace with critical-path attribution.
+	// Cycle-free: the traced run charges exactly the cycles of an
+	// untraced one (only the wire bytes and the TraceHash differ).
+	DistTracing  bool
+	DistEventCap int // per-participant ring capacity (obs default when 0)
 
 	Plan    faults.Plan
 	Tracer  *obs.Tracer
@@ -112,6 +122,7 @@ type Cluster struct {
 	links    []*link    // [0] = client link, [1..B] = backend links
 	client   *client
 	health   *health
+	dist     *dist.Collector // nil unless cfg.DistTracing
 
 	tracer *obs.Tracer
 	track  obs.TrackID
@@ -192,6 +203,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.client = newClient(c)
 	c.health = newHealth(cfg.Backends)
+	if cfg.DistTracing {
+		participants := append([]string{"client", "lb"}, names...)
+		c.dist = dist.New(
+			dist.Config{EventCap: cfg.DistEventCap, TickCycles: TickCycles, Seed: cfg.Seed},
+			participants, cfg.Flows)
+	}
 	return c, nil
 }
 
@@ -316,6 +333,7 @@ func (c *Cluster) deliver() {
 					c.rep.DroppedDead++
 					continue
 				}
+				c.distArrive(f.data, m.id)
 				m.inbox = append(m.inbox, f.data)
 			}
 		}
@@ -344,7 +362,9 @@ func (c *Cluster) lbStep() {
 		return
 	}
 	clk := lb.clock()
+	base := clk.Cycles()
 	for _, data := range lb.inbox {
+		before := clk.Cycles()
 		clk.Charge(apps.ProcessCycles)
 		p, err := netproto.ParseUDP(data)
 		if err != nil {
@@ -355,6 +375,8 @@ func (c *Cluster) lbStep() {
 		case p.DstIP == lbIP && p.DstPort == ProbePort:
 			c.health.reply(c, backendIndex(p.SrcIP), c.tick)
 		case p.DstIP == c.client.ip:
+			// A backend reply passing through on its way out: hop 3.
+			c.distSpan(p.Payload, lbNode, dist.HopLBReturn, 3, base, before, clk)
 			c.send(c.links[0], data, true, false)
 		default:
 			idx := c.maglev.Lookup(p.Tuple())
@@ -370,6 +392,7 @@ func (c *Cluster) lbStep() {
 				c.rep.Misrouted++
 				c.mix(evMisroute, uint64(idx), c.tick)
 			}
+			c.distSpan(p.Payload, lbNode, dist.HopLBForward, 1, base, before, clk)
 			lb.forwarded++
 			c.send(c.links[1+idx], data, false, false)
 		}
@@ -391,6 +414,7 @@ func (c *Cluster) backendsStep() {
 			continue
 		}
 		clk := m.clock()
+		base := clk.Cycles()
 		for _, data := range m.inbox {
 			p, err := netproto.ParseUDP(data)
 			if err != nil {
@@ -405,13 +429,32 @@ func (c *Cluster) backendsStep() {
 				}
 				continue
 			}
-			if !m.store.Serve(clk, data) {
+			before := clk.Cycles()
+			// A traced request is served past its header (the reply
+			// overwrites the kv body in place, leaving the header
+			// intact); an untraced one is served whole. Both charge
+			// the same ServeCycles.
+			traced := false
+			served := false
+			if c.dist != nil {
+				if _, rest, err := netproto.DecodeTraceHeader(p.Payload); err == nil {
+					traced = true
+					served = m.store.ServePayload(clk, rest)
+				}
+			}
+			if !traced {
+				served = m.store.Serve(clk, data)
+			}
+			if !served {
 				c.rep.DroppedMalformed++
 				continue
 			}
+			if traced {
+				c.distSpan(p.Payload, m.id, dist.HopBackend, 2, base, before, clk)
+			}
 			m.served++
-			// Serve overwrote the payload with the reply in place;
-			// re-address it to the requester.
+			// The payload now holds the reply in place; re-address it
+			// to the requester.
 			n, err := netproto.BuildUDP(c.frame[:], m.mac, lbMAC, backendIP(i-1), p.SrcIP,
 				p.DstPort, p.SrcPort, p.Payload)
 			if err != nil {

@@ -1,0 +1,203 @@
+package cluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"atmosphere/internal/faults"
+	"atmosphere/internal/netproto"
+	"atmosphere/internal/obs/dist"
+)
+
+// distChaosConfig is a shortened chaos run with tracing on: backend 1
+// (node 3) killed at tick 400, respawned at 700, run ends at 1200 —
+// kills, retries, give-ups, and reinstatement all inside the window.
+func distChaosConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Ticks = 1200
+	cfg.DistTracing = true
+	cfg.Plan = faults.Plan{Rules: []faults.Rule{{
+		Kind:   faults.MachineKill,
+		Period: 400 * TickCycles,
+		Until:  401 * TickCycles,
+		Target: 3,
+	}}}
+	return cfg
+}
+
+// TestDistDecompositionExact is the acceptance property: over a chaos
+// run with a machine kill, every completed request's five latency
+// components sum exactly to its measured end-to-end latency, no trace
+// is irregular, and the collector's joins reconcile with the client's
+// response counter.
+func TestDistDecompositionExact(t *testing.T) {
+	c, err := New(distChaosConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := c.Run()
+	if rep.Kills < 1 {
+		t.Fatalf("chaos run killed nothing (kills=%d)", rep.Kills)
+	}
+	col := c.Dist()
+	recs := col.Completed()
+	if uint64(len(recs)) != rep.DistCompleted || len(recs) == 0 {
+		t.Fatalf("completed: %d recs vs DistCompleted=%d", len(recs), rep.DistCompleted)
+	}
+	var retried int
+	var sumLatency uint64
+	for k, rec := range recs {
+		if rec.Irregular {
+			t.Fatalf("rec %d irregular: %+v", k, rec)
+		}
+		if want := (rec.EndTick - rec.FirstTick) * TickCycles; rec.Latency != want {
+			t.Fatalf("rec %d latency %d, ticks say %d", k, rec.Latency, want)
+		}
+		if got := rec.Comp.Total(); got != rec.Latency {
+			t.Fatalf("rec %d components sum %d != latency %d (%+v)", k, got, rec.Latency, rec.Comp)
+		}
+		if rec.Attempts == 1 {
+			if rec.Comp.Backoff != 0 || rec.Comp.ClientQueue != 0 || rec.TraceID != rec.Root {
+				t.Fatalf("rec %d first-attempt completion carries retry components: %+v", k, rec)
+			}
+		} else {
+			retried++
+		}
+		// The critical path is client → LB → backend → LB.
+		if rec.Hops[0].Machine != lbNode || rec.Hops[2].Machine != lbNode || rec.Hops[1].Machine < firstBackend {
+			t.Fatalf("rec %d hop machines: %+v", k, rec.Hops)
+		}
+		sumLatency += rec.Latency
+	}
+	if rep.DistIrregular != 0 || rep.DistHeaderRejects != 0 {
+		t.Fatalf("irregular=%d rejects=%d, want 0/0", rep.DistIrregular, rep.DistHeaderRejects)
+	}
+	// Every client-side response either completed a trace or was a
+	// stale attempt of a retired request; give-ups map to abandons.
+	if rep.DistCompleted+rep.DistStale != rep.Responses {
+		t.Fatalf("completed %d + stale %d != responses %d", rep.DistCompleted, rep.DistStale, rep.Responses)
+	}
+	if rep.DistAbandoned != rep.GaveUp {
+		t.Fatalf("abandoned %d != gave-up %d", rep.DistAbandoned, rep.GaveUp)
+	}
+	if retried == 0 {
+		t.Error("no completed request was retried — the chaos window proved nothing about backoff attribution")
+	}
+	// The attribution's totals are the per-record sums.
+	a := col.Attribution(4)
+	if a.TotalLatency != sumLatency || a.Comp.Total() != sumLatency {
+		t.Fatalf("attribution totals %d/%d, want %d", a.TotalLatency, a.Comp.Total(), sumLatency)
+	}
+	if len(a.TopK) != 4 || a.TopK[0].Latency < a.Rows[2].Rec.Latency {
+		t.Fatalf("topK/p999 inconsistent: top=%d p999=%d", a.TopK[0].Latency, a.Rows[2].Rec.Latency)
+	}
+	// Per-machine service histograms merged: one observation per hop.
+	if got := col.ServiceHistogram().Count(); got == 0 {
+		t.Error("merged service histogram empty")
+	}
+}
+
+// TestDistTraceIDMatchesWireFormat pins the collector's trace-ID
+// derivation to netproto.TraceID — the two are implemented separately
+// (obs must not depend on the wire layer) and must never drift.
+func TestDistTraceIDMatchesWireFormat(t *testing.T) {
+	col := dist.New(dist.Config{TickCycles: TickCycles, Seed: 99}, []string{"client", "lb"}, 8)
+	if got, want := col.BeginRequest(3, 1), netproto.TraceID(99, 3, 0, 0); got != want {
+		t.Fatalf("first request: collector %#x, wire %#x", got, want)
+	}
+	col.Timeout(3, 17)
+	if got, want := col.Retry(3, 25), netproto.TraceID(99, 3, 0, 1); got != want {
+		t.Fatalf("retry attempt: collector %#x, wire %#x", got, want)
+	}
+	col.Abandon(3, 40)
+	if got, want := col.BeginRequest(3, 50), netproto.TraceID(99, 3, 1, 0); got != want {
+		t.Fatalf("second request: collector %#x, wire %#x", got, want)
+	}
+}
+
+// TestDistMergedExportDeterministic runs the same traced chaos seed
+// twice and requires byte-identical merged exports and attribution
+// text — the cluster-level determinism anchor behind the CI check.
+func TestDistMergedExportDeterministic(t *testing.T) {
+	render := func() (string, string) {
+		c, err := New(distChaosConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Run()
+		var merged bytes.Buffer
+		if err := dist.WriteMerged(&merged, c.Dist()); err != nil {
+			t.Fatal(err)
+		}
+		var report strings.Builder
+		if err := c.Dist().Attribution(8).WriteText(&report); err != nil {
+			t.Fatal(err)
+		}
+		return merged.String(), report.String()
+	}
+	m1, r1 := render()
+	m2, r2 := render()
+	if m1 != m2 {
+		t.Errorf("merged exports differ across same-seed runs (%d vs %d bytes)", len(m1), len(m2))
+	}
+	if r1 != r2 {
+		t.Errorf("attribution reports differ:\n%s\nvs\n%s", r1, r2)
+	}
+	for _, want := range []string{"\"process_name\"", "\"client\"", "\"lb\"", "\"backend-0\"",
+		"\"req.client\"", "\"req.lb\"", "\"req.backend\"", "\"ph\":\"s\"", "\"ph\":\"f\",", "\"bp\":\"e\""} {
+		if !strings.Contains(m1, want) {
+			t.Errorf("merged export missing %s", want)
+		}
+	}
+}
+
+// TestDistRejectsCorruptReplyHeader delivers hand-corrupted reply
+// frames straight to the client: a damaged or truncated trace header
+// must be counted and dropped — never joined — and must not panic.
+func TestDistRejectsCorruptReplyHeader(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DistTracing = true
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.tick = 1
+	c.client.step(1) // puts real requests in flight so a mis-join would have a victim
+	build := func(payload []byte) []byte {
+		var frame [256]byte
+		n, err := netproto.BuildUDP(frame[:], lbMAC, c.client.mac, lbIP, c.client.ip,
+			80, flowPort(0), payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return append([]byte(nil), frame[:n]...)
+	}
+	// No magic at all, then a real header with a flipped trace-ID byte,
+	// then one truncated mid-header.
+	// Nonzero hop/parent so a truncation stays visible even after short
+	// frames are zero-padded back to the Ethernet minimum.
+	garbage := bytes.Repeat([]byte{0x55}, 24)
+	var hdr [netproto.TraceHeaderLen]byte
+	if _, err := netproto.EncodeTraceHeader(hdr[:], netproto.TraceHeader{TraceID: 0xabcdef, Hop: 2, Parent: 0xfeedface}); err != nil {
+		t.Fatal(err)
+	}
+	flipped := append(append([]byte(nil), hdr[:]...), 1)
+	flipped[7] ^= 0x80
+	truncated := append([]byte(nil), hdr[:netproto.TraceHeaderLen-4]...)
+
+	before := c.rep.DroppedMalformed
+	for _, payload := range [][]byte{garbage, flipped, truncated} {
+		c.client.consume(build(payload), 2)
+	}
+	rep := c.Report()
+	if rep.DistHeaderRejects != 3 {
+		t.Fatalf("header rejects = %d, want 3", rep.DistHeaderRejects)
+	}
+	if rep.DroppedMalformed != before+3 {
+		t.Fatalf("dropped malformed = %d, want %d", rep.DroppedMalformed, before+3)
+	}
+	if rep.Responses != 0 || rep.DistCompleted != 0 {
+		t.Fatalf("a corrupt reply completed a request: %+v", rep)
+	}
+}

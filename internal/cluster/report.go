@@ -70,6 +70,18 @@ type Report struct {
 	// Burned CPU across all machines and generations.
 	KernelCycles uint64
 
+	// Distributed tracing (all zero when DistTracing is off).
+	// DistCompleted counts requests with a fully joined trace;
+	// DistStale replies whose attempt belonged to a retired request;
+	// DistIrregular completed traces whose hop log was not the clean
+	// 3-hop chain (an invariant violation — tests pin it to zero).
+	// DistTraceEvents / DistTraceDropped sum ring occupancy and
+	// evictions across every participant tracer (per-machine detail
+	// via Dist().Pressure()).
+	DistCompleted, DistAbandoned, DistOrphaned  uint64
+	DistStale, DistHeaderRejects, DistIrregular uint64
+	DistTraceEvents, DistTraceDropped           uint64
+
 	// TraceHash folds every cluster event with the injector's own
 	// hash: equal seeds must reproduce it bit for bit.
 	TraceHash uint64
@@ -91,6 +103,12 @@ func (c *Cluster) Report() Report {
 	r.P999 = c.client.latency.Quantile(0.999)
 	for _, m := range c.machines {
 		r.KernelCycles += m.TotalCycles()
+	}
+	if c.dist != nil {
+		r.DistCompleted, r.DistAbandoned, r.DistOrphaned, r.DistStale, r.DistHeaderRejects = c.dist.Counts()
+		r.DistIrregular = c.dist.IrregularCount()
+		r.DistTraceEvents = c.dist.TraceEvents()
+		r.DistTraceDropped = c.dist.TraceDropped()
 	}
 	r.TraceHash = c.hash ^ c.inj.TraceHash()
 	return r

@@ -1,0 +1,160 @@
+package netproto
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func mustHeader(t *testing.T, h TraceHeader) []byte {
+	t.Helper()
+	buf := make([]byte, TraceHeaderLen)
+	n, err := EncodeTraceHeader(buf, h)
+	if err != nil || n != TraceHeaderLen {
+		t.Fatalf("encode: n=%d err=%v", n, err)
+	}
+	return buf
+}
+
+func TestTraceHeaderRoundTrip(t *testing.T) {
+	want := TraceHeader{TraceID: 0xdeadbeefcafef00d, Hop: 3, Parent: 0x01020304}
+	payload := append(mustHeader(t, want), []byte("kv request bytes")...)
+	got, rest, err := DecodeTraceHeader(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v want %+v", got, want)
+	}
+	if !bytes.Equal(rest, []byte("kv request bytes")) {
+		t.Fatalf("rest = %q", rest)
+	}
+}
+
+func TestTraceHeaderUpdate(t *testing.T) {
+	buf := mustHeader(t, TraceHeader{TraceID: 42, Hop: 0, Parent: 0})
+	if err := UpdateTraceHeader(buf, 1, 777); err != nil {
+		t.Fatal(err)
+	}
+	h, _, err := DecodeTraceHeader(buf)
+	if err != nil {
+		t.Fatalf("update broke the checksum: %v", err)
+	}
+	if h.TraceID != 42 || h.Hop != 1 || h.Parent != 777 {
+		t.Fatalf("after update: %+v", h)
+	}
+	if err := UpdateTraceHeader(buf[:TraceHeaderLen-1], 2, 0); !errors.Is(err, ErrNoTraceHeader) {
+		t.Fatalf("update on truncated buffer: err=%v", err)
+	}
+}
+
+// TestTraceHeaderEncodeShort pins the only encode failure mode.
+func TestTraceHeaderEncodeShort(t *testing.T) {
+	if _, err := EncodeTraceHeader(make([]byte, TraceHeaderLen-1), TraceHeader{}); !errors.Is(err, ErrTooShort) {
+		t.Fatalf("short encode: err=%v", err)
+	}
+}
+
+// TestTraceHeaderRejectsTruncation covers every truncation length: a
+// partial header must decode to ErrNoTraceHeader, never to a header.
+func TestTraceHeaderRejectsTruncation(t *testing.T) {
+	full := mustHeader(t, TraceHeader{TraceID: 0x1122334455667788, Hop: 2, Parent: 9})
+	for n := 0; n < TraceHeaderLen; n++ {
+		h, rest, err := DecodeTraceHeader(full[:n])
+		if !errors.Is(err, ErrNoTraceHeader) {
+			t.Fatalf("len %d: err=%v", n, err)
+		}
+		if h != (TraceHeader{}) || rest != nil {
+			t.Fatalf("len %d: leaked header %+v rest %v", n, h, rest)
+		}
+	}
+	if _, _, err := DecodeTraceHeader(nil); !errors.Is(err, ErrNoTraceHeader) {
+		t.Fatalf("nil payload: err=%v", err)
+	}
+}
+
+// TestTraceHeaderRejectsCorruption is the LinkCorrupt coverage: flip
+// every bit of a valid header in turn (the table), and the decoder must
+// either reject the frame outright or — never — return a different
+// trace ID than the one encoded. Corrupting the check byte itself must
+// also reject, so a lying checksum cannot launder a damaged header.
+func TestTraceHeaderRejectsCorruption(t *testing.T) {
+	orig := TraceHeader{TraceID: 0x0123456789abcdef, Hop: 1, Parent: 0xfeedface}
+	for byteIx := 0; byteIx < TraceHeaderLen; byteIx++ {
+		for bit := 0; bit < 8; bit++ {
+			buf := mustHeader(t, orig)
+			buf[byteIx] ^= 1 << bit
+			h, _, err := DecodeTraceHeader(buf)
+			if err == nil {
+				t.Fatalf("byte %d bit %d: corrupted header decoded as %+v", byteIx, bit, h)
+			}
+			if h.TraceID != 0 {
+				t.Fatalf("byte %d bit %d: error path leaked trace ID %#x", byteIx, bit, h.TraceID)
+			}
+			switch byteIx {
+			case 0, 1:
+				if !errors.Is(err, ErrNoTraceHeader) {
+					t.Fatalf("magic corruption must read as no-header, got %v", err)
+				}
+			default:
+				if !errors.Is(err, ErrTraceHeaderSum) {
+					t.Fatalf("byte %d bit %d: want checksum error, got %v", byteIx, bit, err)
+				}
+			}
+		}
+	}
+}
+
+// TestTraceHeaderFuzzCorruption is the fuzz-style sweep: a seeded LCG
+// mangles random byte runs of random frames. The decoder must never
+// panic, and whenever it does return a header, the input must be
+// byte-identical to a real encoding of that header (no mis-joins).
+func TestTraceHeaderFuzzCorruption(t *testing.T) {
+	lcg := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		lcg = lcg*6364136223846793005 + 1442695040888963407
+		return int((lcg >> 33) % uint64(n))
+	}
+	for round := 0; round < 5000; round++ {
+		orig := TraceHeader{
+			TraceID: lcg * 0x2545f4914f6cdd1d,
+			Hop:     uint8(next(5)),
+			Parent:  uint32(next(1 << 16)),
+		}
+		payload := append(mustHeader(t, orig), byte(next(256)), byte(next(256)))
+		// Corrupt 1..4 bytes anywhere in the buffer.
+		for k := 0; k <= next(4); k++ {
+			payload[next(len(payload))] ^= byte(1 + next(255))
+		}
+		// And sometimes truncate.
+		if next(4) == 0 {
+			payload = payload[:next(len(payload)+1)]
+		}
+		h, _, err := DecodeTraceHeader(payload)
+		if err != nil {
+			continue // rejected: the safe outcome
+		}
+		canonical := mustHeader(t, h)
+		if !bytes.Equal(payload[:TraceHeaderLen], canonical) {
+			t.Fatalf("round %d: decoder accepted a non-canonical header: %x -> %+v", round, payload[:TraceHeaderLen], h)
+		}
+	}
+}
+
+func TestTraceIDUniqueAcrossAttemptsAndRequests(t *testing.T) {
+	seen := map[uint64][3]int{}
+	for flow := 0; flow < 8; flow++ {
+		for seq := 0; seq < 8; seq++ {
+			for attempt := 0; attempt < 4; attempt++ {
+				id := TraceID(1107, flow, uint64(seq), attempt)
+				if prev, dup := seen[id]; dup {
+					t.Fatalf("trace ID collision: flow=%d seq=%d attempt=%d vs %v", flow, seq, attempt, prev)
+				}
+				seen[id] = [3]int{flow, seq, attempt}
+			}
+		}
+	}
+	if TraceID(1, 0, 0, 0) == TraceID(2, 0, 0, 0) {
+		t.Fatal("seed does not perturb the trace ID")
+	}
+}

@@ -1,0 +1,295 @@
+package dist
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Critical-path attribution: every completed request's end-to-end
+// latency decomposes into five components that sum exactly — no
+// residual bucket, no rounding. The decomposition telescopes over the
+// completing attempt's hop log: with send tick s, hop arrivals a1..a3,
+// hop processings p1..p3 and reply receipt r,
+//
+//	link    = (a1-s) + (a2-p1) + (a3-p2) + (r-p3)
+//	lb      = (p1-a1) + (p3-a3)
+//	backend = (p2-a2)
+//
+// so link+lb+backend = r-s, and with backoff (the attempt's completed
+// retry-backoff ticks) plus client-queue (everything else between the
+// request's first send f and s: deadline waits on lost attempts),
+//
+//	queue = (s-f) - backoff
+//
+// the five sum to r-f, the measured latency, exactly. The property is
+// pinned per-request by a cluster chaos test.
+
+// Components is one request's latency split, in cycles.
+type Components struct {
+	ClientQueue uint64 // deadline waits on attempts that never returned
+	Link        uint64 // frames in flight on the wire
+	LB          uint64 // queued or in service at the load balancer (both directions)
+	Backend     uint64 // queued or in service at the backend
+	Backoff     uint64 // client retry backoff
+}
+
+// Total sums the components.
+func (c Components) Total() uint64 {
+	return c.ClientQueue + c.Link + c.LB + c.Backend + c.Backoff
+}
+
+func (c Components) add(o Components) Components {
+	return Components{
+		ClientQueue: c.ClientQueue + o.ClientQueue,
+		Link:        c.Link + o.Link,
+		LB:          c.LB + o.LB,
+		Backend:     c.Backend + o.Backend,
+		Backoff:     c.Backoff + o.Backoff,
+	}
+}
+
+// HopRec is one hop of a completed request's critical path, for the
+// merged export's flow arrows.
+type HopRec struct {
+	Machine int
+	Kind    HopKind
+	SpanTS  uint64 // cycles
+	SpanDur uint64 // cycles
+	SpanRef uint32
+}
+
+// TraceRec is one completed request.
+type TraceRec struct {
+	TraceID  uint64 // completing attempt's trace ID
+	Root     uint64 // first attempt's trace ID (the request's identity)
+	Flow     int
+	Attempts int
+	// Ticks: first send, completing attempt's send, reply receipt.
+	FirstTick, SentTick, EndTick uint64
+	Latency                      uint64 // (EndTick-FirstTick) * TickCycles
+	Comp                         Components
+	// Irregular marks a hop log that was not a clean 3-hop chain (a
+	// cluster invariant violation — tests pin it to zero); the latency
+	// is then attributed wholesale to Link so the sum still holds.
+	Irregular bool
+	Hops      [hopsPerChain]HopRec
+}
+
+// decompose builds the completing attempt's record.
+func (c *Collector) decompose(a *attempt, endTick uint64) TraceRec {
+	r := a.req
+	tc := c.cfg.TickCycles
+	rec := TraceRec{
+		TraceID:   a.traceID,
+		Root:      r.rootID,
+		Flow:      r.flow,
+		Attempts:  len(r.attempts),
+		FirstTick: r.firstTick,
+		SentTick:  a.sentTick,
+		EndTick:   endTick,
+		Latency:   (endTick - r.firstTick) * tc,
+	}
+	if !chainOK(a, endTick) || a.backoffBefore > a.sentTick-r.firstTick {
+		rec.Irregular = true
+		rec.Comp = Components{Link: rec.Latency}
+		return rec
+	}
+	h1, h2, h3 := &a.hops[0], &a.hops[1], &a.hops[2]
+	rec.Comp = Components{
+		ClientQueue: (a.sentTick - r.firstTick - a.backoffBefore) * tc,
+		Link:        ((h1.Arrive - a.sentTick) + (h2.Arrive - h1.Process) + (h3.Arrive - h2.Process) + (endTick - h3.Process)) * tc,
+		LB:          ((h1.Process - h1.Arrive) + (h3.Process - h3.Arrive)) * tc,
+		Backend:     (h2.Process - h2.Arrive) * tc,
+		Backoff:     a.backoffBefore * tc,
+	}
+	for i, h := range a.hops {
+		rec.Hops[i] = HopRec{Machine: h.Machine, Kind: h.Kind, SpanTS: h.SpanTS, SpanDur: h.SpanDur, SpanRef: h.SpanRef}
+	}
+	return rec
+}
+
+// chainOK verifies the attempt's hop log is the clean forward/return
+// chain with monotonic ticks.
+func chainOK(a *attempt, endTick uint64) bool {
+	if len(a.hops) != hopsPerChain {
+		return false
+	}
+	want := [hopsPerChain]HopKind{HopLBForward, HopBackend, HopLBReturn}
+	prev := a.sentTick
+	for i := range a.hops {
+		h := &a.hops[i]
+		if !h.done || h.Kind != want[i] || h.Arrive < prev || h.Process < h.Arrive {
+			return false
+		}
+		prev = h.Process
+	}
+	return endTick >= prev
+}
+
+// QuantileRow is the request sitting at one latency quantile, with its
+// full component breakdown — "what does the p999 spend its time on".
+type QuantileRow struct {
+	Q     float64
+	Label string
+	Rec   TraceRec
+}
+
+// Attribution is the cluster-wide critical-path summary.
+type Attribution struct {
+	Completed     uint64
+	Abandoned     uint64
+	Orphaned      uint64
+	Stale         uint64
+	HeaderRejects uint64
+	Irregular     uint64
+	TotalLatency  uint64     // cycles, across completed requests
+	Comp          Components // cycles, summed across completed requests
+	Rows          []QuantileRow
+	TopK          []TraceRec // slowest first
+}
+
+// quantiles are the report's latency ranks.
+var quantiles = []struct {
+	q     float64
+	label string
+}{{0.50, "p50"}, {0.99, "p99"}, {0.999, "p999"}}
+
+// Attribution summarizes every completed request: exact quantile rows
+// (ceil-rank over the total order latency/end-tick/trace-ID) and the
+// k slowest traces.
+func (c *Collector) Attribution(k int) Attribution {
+	if c == nil {
+		return Attribution{}
+	}
+	a := Attribution{
+		Completed:     uint64(len(c.completed)),
+		Abandoned:     c.abandoned,
+		Orphaned:      c.orphaned,
+		Stale:         c.staleReplies,
+		HeaderRejects: c.headerRejects,
+		Irregular:     c.irregular,
+	}
+	if len(c.completed) == 0 {
+		return a
+	}
+	byLat := append([]TraceRec(nil), c.completed...)
+	sort.Slice(byLat, func(i, j int) bool {
+		if byLat[i].Latency != byLat[j].Latency {
+			return byLat[i].Latency < byLat[j].Latency
+		}
+		if byLat[i].EndTick != byLat[j].EndTick {
+			return byLat[i].EndTick < byLat[j].EndTick
+		}
+		return byLat[i].TraceID < byLat[j].TraceID
+	})
+	for _, rec := range byLat {
+		a.TotalLatency += rec.Latency
+		a.Comp = a.Comp.add(rec.Comp)
+	}
+	n := len(byLat)
+	for _, q := range quantiles {
+		rank := int(math.Ceil(q.q * float64(n)))
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > n {
+			rank = n
+		}
+		a.Rows = append(a.Rows, QuantileRow{Q: q.q, Label: q.label, Rec: byLat[rank-1]})
+	}
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		a.TopK = append(a.TopK, byLat[n-1-i])
+	}
+	return a
+}
+
+// PressureNotes renders one report line per participant tracer, with
+// a WARN prefix when the ring evicted events (the merged export is
+// then missing the oldest spans).
+func (c *Collector) PressureNotes() []string {
+	if c == nil {
+		return nil
+	}
+	out := make([]string, 0, len(c.tracers))
+	for _, p := range c.Pressure() {
+		line := fmt.Sprintf("tracer %s: %d/%d events, %d dropped", p.Name, p.Events, p.Cap, p.Dropped)
+		if p.Dropped > 0 {
+			line = "WARN " + line + " — merged export lost the oldest spans; raise DistEventCap"
+		}
+		out = append(out, line)
+	}
+	return out
+}
+
+// pct renders share as a deterministic fixed-point percentage.
+func pct(part, total uint64) string {
+	if total == 0 {
+		return "0.0%"
+	}
+	milli := part * 1000 / total
+	return fmt.Sprintf("%d.%d%%", milli/10, milli%10)
+}
+
+// WriteText renders the attribution as a plain-text report.
+func (a Attribution) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "distributed trace attribution: %d completed, %d abandoned, %d orphaned, %d stale, %d header-rejects, %d irregular\n",
+		a.Completed, a.Abandoned, a.Orphaned, a.Stale, a.HeaderRejects, a.Irregular); err != nil {
+		return err
+	}
+	if a.Completed == 0 {
+		return nil
+	}
+	get := func(c Components) [5]uint64 {
+		return [5]uint64{c.ClientQueue, c.Link, c.LB, c.Backend, c.Backoff}
+	}
+	labels := [5]string{"client-queue", "link", "lb", "backend", "backoff"}
+	if _, err := fmt.Fprintf(w, "%-14s %8s", "component", "share"); err != nil {
+		return err
+	}
+	for _, row := range a.Rows {
+		if _, err := fmt.Fprintf(w, " %12s", row.Label); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	total := get(a.Comp)
+	for i, label := range labels {
+		if _, err := fmt.Fprintf(w, "%-14s %8s", label, pct(total[i], a.TotalLatency)); err != nil {
+			return err
+		}
+		for _, row := range a.Rows {
+			if _, err := fmt.Fprintf(w, " %12d", get(row.Rec.Comp)[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%-14s %8s", "total", "100.0%"); err != nil {
+		return err
+	}
+	for _, row := range a.Rows {
+		if _, err := fmt.Fprintf(w, " %12d", row.Rec.Latency); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintln(w); err != nil {
+		return err
+	}
+	for i, rec := range a.TopK {
+		if _, err := fmt.Fprintf(w, "slow[%d] trace=%#016x flow=%d attempts=%d latency=%d queue=%d link=%d lb=%d backend=%d backoff=%d\n",
+			i, rec.TraceID, rec.Flow, rec.Attempts, rec.Latency,
+			rec.Comp.ClientQueue, rec.Comp.Link, rec.Comp.LB, rec.Comp.Backend, rec.Comp.Backoff); err != nil {
+			return err
+		}
+	}
+	return nil
+}

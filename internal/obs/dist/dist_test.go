@@ -1,0 +1,332 @@
+package dist
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testTC is a readable tick-to-cycle factor for the hand-driven tests.
+const testTC = 100
+
+func newTestCollector() *Collector {
+	return New(
+		Config{EventCap: 256, TickCycles: testTC, Seed: 7},
+		[]string{"client", "lb", "backend-0", "backend-1"},
+		4,
+	)
+}
+
+// drive runs one clean request through the chain: sent at sent, one
+// tick per hop, processed the tick it arrives, completed at sent+4.
+func drive(t *testing.T, c *Collector, flow int, sent uint64, backend int) TraceRec {
+	t.Helper()
+	id := c.BeginRequest(flow, sent)
+	c.Arrive(id, 1, sent+1)
+	ref, ok := c.Process(id, 1, HopLBForward, sent+1, (sent+1)*testTC, (sent+1)*testTC+30, 0)
+	if !ok {
+		t.Fatal("lb-forward process rejected")
+	}
+	c.Arrive(id, backend, sent+2)
+	ref2, ok := c.Process(id, backend, HopBackend, sent+2, (sent+2)*testTC, (sent+2)*testTC+60, ref)
+	if !ok {
+		t.Fatal("backend process rejected")
+	}
+	c.Arrive(id, 1, sent+3)
+	if _, ok := c.Process(id, 1, HopLBReturn, sent+3, (sent+3)*testTC, (sent+3)*testTC+20, ref2); !ok {
+		t.Fatal("lb-return process rejected")
+	}
+	if !c.Complete(id, flow, sent+4) {
+		t.Fatal("complete rejected")
+	}
+	recs := c.Completed()
+	return recs[len(recs)-1]
+}
+
+func TestDecomposeCleanRequest(t *testing.T) {
+	c := newTestCollector()
+	rec := drive(t, c, 0, 10, 2)
+	if rec.Irregular {
+		t.Fatal("clean chain marked irregular")
+	}
+	if rec.Latency != 4*testTC {
+		t.Fatalf("latency = %d", rec.Latency)
+	}
+	want := Components{Link: 4 * testTC}
+	if rec.Comp != want {
+		t.Fatalf("components = %+v, want %+v", rec.Comp, want)
+	}
+	if rec.Comp.Total() != rec.Latency {
+		t.Fatalf("components sum %d != latency %d", rec.Comp.Total(), rec.Latency)
+	}
+	if rec.Attempts != 1 || rec.Root != rec.TraceID {
+		t.Fatalf("attempt bookkeeping: %+v", rec)
+	}
+}
+
+// TestDecomposeRetryAndQueueing exercises every component at once: the
+// first attempt is lost, the flow backs off, and the retry queues one
+// tick at the backend.
+func TestDecomposeRetryAndQueueing(t *testing.T) {
+	c := newTestCollector()
+	id0 := c.BeginRequest(1, 1)
+	// First attempt vanishes on the wire. Deadline at tick 17, retry
+	// fires after 8 ticks of backoff.
+	c.Timeout(1, 17)
+	id1 := c.Retry(1, 25)
+	if id1 == id0 || id1 == 0 {
+		t.Fatalf("retry attempt ids: %#x vs %#x", id1, id0)
+	}
+	c.Arrive(id1, 1, 26)
+	ref, _ := c.Process(id1, 1, HopLBForward, 26, 2600, 2630, 0)
+	c.Arrive(id1, 2, 27)
+	// The backend was stalled: processed one tick after delivery.
+	ref2, _ := c.Process(id1, 2, HopBackend, 28, 2800, 2860, ref)
+	c.Arrive(id1, 1, 29)
+	c.Process(id1, 1, HopLBReturn, 29, 2900, 2920, ref2)
+	if !c.Complete(id1, 1, 30) {
+		t.Fatal("complete rejected")
+	}
+	rec := c.Completed()[0]
+	want := Components{
+		ClientQueue: 16 * testTC, // 24 ticks before the retry, minus 8 backing off
+		Backoff:     8 * testTC,
+		Link:        4 * testTC,
+		Backend:     1 * testTC,
+	}
+	if rec.Comp != want {
+		t.Fatalf("components = %+v, want %+v", rec.Comp, want)
+	}
+	if got := rec.Latency; got != 29*testTC || rec.Comp.Total() != got {
+		t.Fatalf("latency %d, sum %d", got, rec.Comp.Total())
+	}
+	if rec.Attempts != 2 || rec.Root != id0 || rec.TraceID != id1 {
+		t.Fatalf("attempt bookkeeping: %+v", rec)
+	}
+}
+
+func TestCompleteRejectsWrongFlowAndStale(t *testing.T) {
+	c := newTestCollector()
+	id := c.BeginRequest(0, 1)
+	if c.Complete(id, 3, 2) {
+		t.Fatal("completed on the wrong flow")
+	}
+	if !c.Complete(id, 0, 2) {
+		t.Fatal("rightful completion rejected")
+	}
+	// The request is retired: its reply cannot complete anything again.
+	if c.Complete(id, 0, 3) {
+		t.Fatal("stale reply re-completed a retired request")
+	}
+	_, _, _, stale, _ := c.Counts()
+	if stale != 2 {
+		t.Fatalf("stale = %d, want 2", stale)
+	}
+}
+
+func TestAbandonAndOrphanBookkeeping(t *testing.T) {
+	c := newTestCollector()
+	c.BeginRequest(0, 1)
+	c.Abandon(0, 50)
+	c.BeginRequest(1, 1)
+	c.BeginRequest(1, 60) // previous request never completed: orphaned
+	_, abandoned, orphaned, _, _ := c.Counts()
+	if abandoned != 1 || orphaned != 1 {
+		t.Fatalf("abandoned=%d orphaned=%d", abandoned, orphaned)
+	}
+	// Arrivals for retired attempts are ignored, not mis-joined.
+	c.Arrive(1234, 1, 2)
+	if _, ok := c.Process(1234, 1, HopLBForward, 2, 200, 230, 0); ok {
+		t.Fatal("process joined an unknown trace id")
+	}
+}
+
+func TestServiceHistogramMergesMachines(t *testing.T) {
+	c := newTestCollector()
+	drive(t, c, 0, 10, 2)
+	drive(t, c, 1, 20, 3)
+	h := c.ServiceHistogram()
+	// 3 hops per request, service cycles 30+60+20 each.
+	if h.Count() != 6 || h.Sum() != 2*(30+60+20) {
+		t.Fatalf("service histogram count=%d sum=%d", h.Count(), h.Sum())
+	}
+}
+
+func TestAttributionQuantilesAndTopK(t *testing.T) {
+	c := newTestCollector()
+	for i := 0; i < 10; i++ {
+		drive(t, c, i%4, uint64(10+20*i), 2+i%2)
+	}
+	a := c.Attribution(3)
+	if a.Completed != 10 || a.Irregular != 0 {
+		t.Fatalf("attribution counts: %+v", a)
+	}
+	if a.TotalLatency != 10*4*testTC || a.Comp.Total() != a.TotalLatency {
+		t.Fatalf("total latency %d, components %d", a.TotalLatency, a.Comp.Total())
+	}
+	if len(a.Rows) != 3 || a.Rows[0].Label != "p50" || a.Rows[2].Label != "p999" {
+		t.Fatalf("rows: %+v", a.Rows)
+	}
+	if len(a.TopK) != 3 || a.TopK[0].Latency < a.TopK[2].Latency {
+		t.Fatalf("topK not slowest-first: %+v", a.TopK)
+	}
+	var b strings.Builder
+	if err := a.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"10 completed", "client-queue", "backend", "p999", "slow[0]"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("report missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestPressureReportsEveryParticipant(t *testing.T) {
+	c := newTestCollector()
+	drive(t, c, 0, 10, 2)
+	p := c.Pressure()
+	if len(p) != 4 || p[0].Name != "client" || p[3].Name != "backend-1" {
+		t.Fatalf("pressure = %+v", p)
+	}
+	// One req.client span; lb recorded two hops; backend-0 one; backend-1 none.
+	if p[0].Events != 1 || p[1].Events != 2 || p[2].Events != 1 || p[3].Events != 0 {
+		t.Fatalf("pressure events = %+v", p)
+	}
+	if c.TraceEvents() != 4 || c.TraceDropped() != 0 {
+		t.Fatalf("events=%d dropped=%d", c.TraceEvents(), c.TraceDropped())
+	}
+	for _, pp := range p {
+		if pp.Cap != 256 {
+			t.Fatalf("cap = %d", pp.Cap)
+		}
+	}
+}
+
+func TestPressureNotesWarnOnDrops(t *testing.T) {
+	c := New(Config{EventCap: 2, TickCycles: testTC, Seed: 7},
+		[]string{"client", "lb", "backend-0", "backend-1"}, 4)
+	for i := 0; i < 4; i++ {
+		drive(t, c, i, uint64(10+10*i), 2)
+	}
+	notes := c.PressureNotes()
+	if len(notes) != 4 {
+		t.Fatalf("notes = %v", notes)
+	}
+	// The LB records two spans per request into a 2-slot ring: it must
+	// have dropped, and its line must warn.
+	if !strings.HasPrefix(notes[1], "WARN tracer lb:") {
+		t.Fatalf("lb note missing WARN: %q", notes[1])
+	}
+	if strings.HasPrefix(notes[3], "WARN") {
+		t.Fatalf("idle backend warned: %q", notes[3])
+	}
+	if c.TraceDropped() == 0 {
+		t.Fatal("drop counter did not aggregate")
+	}
+}
+
+func TestNilCollectorIsInert(t *testing.T) {
+	var c *Collector
+	if id := c.BeginRequest(0, 1); id != 0 {
+		t.Fatal("nil collector minted a trace id")
+	}
+	c.Timeout(0, 1)
+	if c.Retry(0, 2) != 0 {
+		t.Fatal("nil retry")
+	}
+	c.Abandon(0, 3)
+	c.Arrive(1, 1, 1)
+	if _, ok := c.Process(1, 1, HopBackend, 1, 0, 10, 0); ok {
+		t.Fatal("nil process")
+	}
+	if c.Complete(1, 0, 2) {
+		t.Fatal("nil complete")
+	}
+	c.RejectHeader()
+	if c.Participants() != 0 || c.Tracer(0) != nil || c.Pressure() != nil {
+		t.Fatal("nil collector leaked state")
+	}
+	if c.ServiceHistogram() != nil || c.Completed() != nil {
+		t.Fatal("nil collector leaked aggregates")
+	}
+	if a := c.Attribution(5); a.Completed != 0 || a.Rows != nil || a.TopK != nil {
+		t.Fatal("nil attribution")
+	}
+	var buf bytes.Buffer
+	if err := WriteMerged(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "traceEvents") {
+		t.Fatal("nil merge wrote no document")
+	}
+}
+
+// TestWriteMergedGolden pins the merged export bytes for a fixed
+// hand-driven scenario — the unit-level byte-determinism anchor (the
+// cluster test covers the full run; regenerate with -update).
+func TestWriteMergedGolden(t *testing.T) {
+	c := newTestCollector()
+	drive(t, c, 0, 10, 2)
+	// A retried request, so the golden carries a req.retry span.
+	id0 := c.BeginRequest(1, 12)
+	c.Timeout(1, 28)
+	id1 := c.Retry(1, 36)
+	_ = id0
+	c.Arrive(id1, 1, 37)
+	ref, _ := c.Process(id1, 1, HopLBForward, 37, 3700, 3730, 0)
+	c.Arrive(id1, 3, 38)
+	ref2, _ := c.Process(id1, 3, HopBackend, 38, 3800, 3860, ref)
+	c.Arrive(id1, 1, 39)
+	c.Process(id1, 1, HopLBReturn, 39, 3900, 3920, ref2)
+	c.Complete(id1, 1, 40)
+	c.Abandon(2, 44) // and a req.gaveup instant
+
+	var got bytes.Buffer
+	if err := WriteMerged(&got, c); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "merged_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got.Bytes(), want) {
+		t.Errorf("merged export diverged from %s:\n%s", path, got.String())
+	}
+
+	// And a second identical drive produces identical bytes.
+	c2 := newTestCollector()
+	drive(t, c2, 0, 10, 2)
+	id0b := c2.BeginRequest(1, 12)
+	c2.Timeout(1, 28)
+	id1b := c2.Retry(1, 36)
+	_ = id0b
+	c2.Arrive(id1b, 1, 37)
+	refb, _ := c2.Process(id1b, 1, HopLBForward, 37, 3700, 3730, 0)
+	c2.Arrive(id1b, 3, 38)
+	ref2b, _ := c2.Process(id1b, 3, HopBackend, 38, 3800, 3860, refb)
+	c2.Arrive(id1b, 1, 39)
+	c2.Process(id1b, 1, HopLBReturn, 39, 3900, 3920, ref2b)
+	c2.Complete(id1b, 1, 40)
+	c2.Abandon(2, 44)
+	var again bytes.Buffer
+	if err := WriteMerged(&again, c2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), again.Bytes()) {
+		t.Error("two identical drives exported different bytes")
+	}
+}

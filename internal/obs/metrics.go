@@ -62,9 +62,10 @@ type Histogram struct {
 var CycleBuckets = []uint64{250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 64_000, 256_000, 1_000_000}
 
 // NewHistogram builds a standalone histogram over the given bounds
-// (CycleBuckets when nil).
+// (CycleBuckets when nil or empty — a boundless histogram would make
+// Quantile's overflow saturation ill-defined).
 func NewHistogram(bounds []uint64) *Histogram {
-	if bounds == nil {
+	if len(bounds) == 0 {
 		bounds = CycleBuckets
 	}
 	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
@@ -111,18 +112,19 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum) / float64(h.n)
 }
 
-// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of
-// the bucket holding the rank-q sample — a conservative (never
-// under-reporting) estimate, which is what an SLO check wants. Samples
-// in the overflow bucket saturate to twice the last bound. Returns 0
-// with no samples.
+// Quantile estimates the q-quantile as the upper bound of the bucket
+// holding the rank-q sample — a conservative (never under-reporting)
+// estimate, which is what an SLO check wants. Samples in the overflow
+// bucket saturate to twice the last bound. Edge cases are pinned by
+// tests: no samples returns 0, q <= 0 clamps to the first sample
+// (rank 1), q >= 1 clamps to the last, and NaN reads as q = 0.
 func (h *Histogram) Quantile(q float64) uint64 {
 	if h == nil || h.n == 0 {
 		return 0
 	}
-	rank := uint64(math.Ceil(q * float64(h.n)))
-	if rank == 0 {
-		rank = 1
+	rank := uint64(1)
+	if q > 0 { // NaN and q <= 0 keep rank 1
+		rank = uint64(math.Ceil(q * float64(h.n)))
 	}
 	if rank > h.n {
 		rank = h.n
@@ -138,6 +140,32 @@ func (h *Histogram) Quantile(q float64) uint64 {
 		}
 	}
 	return 2 * h.bounds[len(h.bounds)-1]
+}
+
+// Merge folds other's samples into h — the cross-machine aggregation
+// primitive: each cluster machine observes into its own histogram on
+// its own timeline, and the report merges them without re-observing.
+// Both histograms must share identical bounds (bucket-exact merging is
+// only defined then); a mismatch is an error and h is left untouched.
+// Merging a nil or empty other, or merging into a nil h, is a no-op.
+func (h *Histogram) Merge(other *Histogram) error {
+	if h == nil || other == nil || other.n == 0 {
+		return nil
+	}
+	if len(h.bounds) != len(other.bounds) {
+		return fmt.Errorf("obs: histogram merge: %d vs %d buckets", len(h.bounds), len(other.bounds))
+	}
+	for i, b := range h.bounds {
+		if other.bounds[i] != b {
+			return fmt.Errorf("obs: histogram merge: bucket %d bound %d vs %d", i, b, other.bounds[i])
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.sum += other.sum
+	h.n += other.n
+	return nil
 }
 
 // Registry is the named-metric table. The simulation is single-threaded

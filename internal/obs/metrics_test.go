@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -135,5 +136,112 @@ func TestHistogramQuantile(t *testing.T) {
 	var nilH *Histogram
 	if nilH.Quantile(0.99) != 0 {
 		t.Fatal("nil histogram quantile should be 0")
+	}
+}
+
+// TestHistogramQuantileEdgeCases pins the corners the SLO math leans
+// on: q <= 0 and NaN clamp to the first sample, q > 1 to the last,
+// an all-overflow histogram saturates, and empty bounds fall back to
+// CycleBuckets instead of producing a boundless (panicking) histogram.
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	h := NewHistogram([]uint64{10, 20})
+	h.Observe(5)
+	h.Observe(15)
+	for _, q := range []float64{0, -1, math.Inf(-1), math.NaN()} {
+		if got := h.Quantile(q); got != 10 {
+			t.Errorf("Quantile(%v) = %d, want first-sample bound 10", q, got)
+		}
+	}
+	for _, q := range []float64{1, 1.5, math.Inf(1)} {
+		if got := h.Quantile(q); got != 20 {
+			t.Errorf("Quantile(%v) = %d, want last-sample bound 20", q, got)
+		}
+	}
+
+	over := NewHistogram([]uint64{10, 20})
+	over.Observe(999)
+	over.Observe(12345)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := over.Quantile(q); got != 40 {
+			t.Errorf("all-overflow Quantile(%v) = %d, want 2x last bound 40", q, got)
+		}
+	}
+
+	empty := NewHistogram([]uint64{})
+	empty.Observe(1)
+	if got := empty.Quantile(1); got != CycleBuckets[0] {
+		t.Errorf("empty-bounds histogram Quantile(1) = %d, want CycleBuckets fallback %d", got, CycleBuckets[0])
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	bounds := []uint64{10, 20, 40}
+	a, b := NewHistogram(bounds), NewHistogram(bounds)
+	for i := 0; i < 10; i++ {
+		a.Observe(5)
+	}
+	for i := 0; i < 10; i++ {
+		b.Observe(30)
+	}
+	b.Observe(1000) // overflow
+
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 21 || a.Sum() != 10*5+10*30+1000 {
+		t.Fatalf("merged count=%d sum=%d", a.Count(), a.Sum())
+	}
+	if got := a.Quantile(0.5); got != 40 {
+		t.Fatalf("merged p50 = %d, want 40", got)
+	}
+	if got := a.Quantile(1); got != 80 {
+		t.Fatalf("merged max = %d, want overflow saturation 80", got)
+	}
+	// b is untouched by the merge.
+	if b.Count() != 11 {
+		t.Fatalf("merge mutated the source: count=%d", b.Count())
+	}
+
+	// A second merge keeps accumulating (N machines fold in one by one).
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count() != 32 {
+		t.Fatalf("double merge count=%d", a.Count())
+	}
+}
+
+func TestHistogramMergeGuards(t *testing.T) {
+	a := NewHistogram([]uint64{10, 20})
+	a.Observe(5)
+
+	badBounds := NewHistogram([]uint64{10, 30})
+	badBounds.Observe(25)
+	if err := a.Merge(badBounds); err == nil {
+		t.Fatal("merge accepted mismatched bounds")
+	}
+	badLen := NewHistogram([]uint64{10, 20, 40})
+	badLen.Observe(25)
+	if err := a.Merge(badLen); err == nil {
+		t.Fatal("merge accepted mismatched bucket counts")
+	}
+	if a.Count() != 1 || a.Sum() != 5 {
+		t.Fatalf("failed merge mutated the target: count=%d sum=%d", a.Count(), a.Sum())
+	}
+
+	// Nil-safety on both sides, and empty sources with different bounds
+	// are a no-op rather than an error (nothing to merge).
+	var nilH *Histogram
+	if err := nilH.Merge(a); err != nil {
+		t.Fatalf("merge into nil: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Fatalf("merge of nil: %v", err)
+	}
+	if err := a.Merge(NewHistogram([]uint64{1})); err != nil {
+		t.Fatalf("merge of empty mismatched source: %v", err)
+	}
+	if a.Count() != 1 {
+		t.Fatalf("no-op merges changed the target: count=%d", a.Count())
 	}
 }
