@@ -23,7 +23,9 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (kernel/obs/drivers/mem/pm/verify/cluster shard)"
+echo "== go test -race (kernel/obs+contend/drivers/mem/pm/verify/cluster shard)"
+# ./internal/obs/... includes the contention observatory
+# (internal/obs/contend) and the distributed tracer (internal/obs/dist).
 go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/... \
     ./internal/mem/... ./internal/pm/... ./internal/verify/... \
     ./internal/cluster/...
@@ -71,6 +73,19 @@ go run ./cmd/atmo-top -workload chaos -seed 7 -ops 200 > "$smoke_dir/top.txt"
 if ! grep -q "^nvme.gen0" "$smoke_dir/top.txt"; then
     echo "atmo-top: smoke run shows no driver container row" >&2
     cat "$smoke_dir/top.txt" >&2
+    exit 1
+fi
+
+echo "== atmo-top -locks smoke"
+go run ./cmd/atmo-top -workload multicore -cores 4 -ops 100 -locks > "$smoke_dir/locks.txt"
+if ! grep -q "^lock big/kernel " "$smoke_dir/locks.txt"; then
+    echo "atmo-top: -locks smoke shows no big-lock contention row" >&2
+    cat "$smoke_dir/locks.txt" >&2
+    exit 1
+fi
+if ! grep -q "^wait big/kernel sys=mmap cntr=root " "$smoke_dir/locks.txt"; then
+    echo "atmo-top: -locks smoke shows no wait-attribution row" >&2
+    cat "$smoke_dir/locks.txt" >&2
     exit 1
 fi
 
@@ -122,6 +137,31 @@ fi
 if ! grep -q "distributed trace attribution" "$smoke_dir/merged_a.txt"; then
     echo "atmo-trace: merged smoke printed no attribution report" >&2
     cat "$smoke_dir/merged_a.txt" >&2
+    exit 1
+fi
+
+echo "== atmo-trace -contention smoke (byte determinism)"
+go run ./cmd/atmo-trace -workload multicore -cores 4 -ops 60 -contention \
+    -o "$smoke_dir/contend_a.json" > "$smoke_dir/contend_a.txt"
+go run ./cmd/atmo-trace -workload multicore -cores 4 -ops 60 -contention \
+    -o "$smoke_dir/contend_b.json" > "$smoke_dir/contend_b.txt"
+if ! cmp -s "$smoke_dir/contend_a.json" "$smoke_dir/contend_b.json"; then
+    echo "atmo-trace: -contention trace is not byte-deterministic across same-seed runs" >&2
+    exit 1
+fi
+grep -v '^wrote ' "$smoke_dir/contend_a.txt" > "$smoke_dir/contend_a.flt"
+grep -v '^wrote ' "$smoke_dir/contend_b.txt" > "$smoke_dir/contend_b.flt"
+if ! cmp -s "$smoke_dir/contend_a.flt" "$smoke_dir/contend_b.flt"; then
+    echo "atmo-trace: contention report is not deterministic" >&2
+    exit 1
+fi
+if ! grep -q "== contention: locks ==" "$smoke_dir/contend_a.txt"; then
+    echo "atmo-trace: -contention smoke printed no contention report" >&2
+    cat "$smoke_dir/contend_a.txt" >&2
+    exit 1
+fi
+if ! grep -q '"lock\.' "$smoke_dir/contend_a.json"; then
+    echo "atmo-trace: -contention trace has no lock counter tracks" >&2
     exit 1
 fi
 

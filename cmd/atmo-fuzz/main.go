@@ -101,14 +101,18 @@ func runChecked(first uint64, seeds, steps int) {
 }
 
 // runDiff is the lockstep differential mode: kernel vs. pure spec
-// interpreter, field-level Ψ comparison after every op. The first
-// divergence is shrunk to a minimal repro and written to reproOut.
+// interpreter, field-level Ψ comparison after every op, with the
+// runtime lock-order checker armed on every booted kernel. The first
+// divergence is shrunk to a minimal repro and written to reproOut; a
+// lock-order inversion fails the seed with the checker's two-site
+// report.
 func runDiff(first uint64, seeds, steps int, reproOut string) {
 	total := mck.Stats{Ops: map[string]int{}, Errnos: map[string]int{}}
-	opt := mck.Options{WFEvery: 256}
+	baseOpt := mck.Options{WFEvery: 256}
 	for s := 0; s < seeds; s++ {
 		seed := first + uint64(s)
 		p := mck.Generate(seed, steps)
+		opt, inversion := baseOpt.WithLockOrder()
 		res, st, err := mck.RunDiff(p, opt)
 		total.Merge(st)
 		if err != nil {
@@ -117,13 +121,17 @@ func runDiff(first uint64, seeds, steps int, reproOut string) {
 		}
 		if res != nil {
 			fmt.Fprintf(os.Stderr, "seed %d DIVERGED: %v\nshrinking...\n", seed, res)
-			min := mck.Shrink(p, func(q mck.Program) bool { return mck.Fails(q, opt) })
+			min := mck.Shrink(p, func(q mck.Program) bool { return mck.Fails(q, baseOpt) })
 			if werr := os.WriteFile(reproOut, min.EncodeRepro(), 0o644); werr != nil {
 				fmt.Fprintf(os.Stderr, "atmo-fuzz: writing repro: %v\n", werr)
 			} else {
 				fmt.Fprintf(os.Stderr, "minimized to %d ops; wrote %s (replay with -repro)\n",
 					len(min.Ops), reproOut)
 			}
+			os.Exit(1)
+		}
+		if v := inversion(); v != nil {
+			fmt.Fprintf(os.Stderr, "seed %d: %s\n", seed, v)
 			os.Exit(1)
 		}
 		fmt.Printf("seed %d: %d ops in lockstep, kernel and spec agreed on every field of Ψ\n", seed, st.Steps)

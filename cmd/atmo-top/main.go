@@ -13,6 +13,8 @@
 //	atmo-top -workload kvstore -ops 300 -diff
 //	atmo-top -workload ipc -ops 500
 //	atmo-top -workload multicore -cores 4 -ops 200
+//	atmo-top -workload multicore -cores 4 -locks        # contention snapshot
+//	atmo-top -workload multicore -cores 4 -locks -diff  # second-half contention delta
 package main
 
 import (
@@ -26,6 +28,7 @@ import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
 	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/contend"
 	"atmosphere/internal/obs/profile"
 	"atmosphere/internal/pm"
 )
@@ -36,20 +39,30 @@ func main() {
 	ops := flag.Int("ops", 300, "operations (kv ops or ipc round trips; per-core mmaps for multicore)")
 	cores := flag.Int("cores", 4, "core count for the multicore workload")
 	diff := flag.Bool("diff", false, "show the per-container delta between ops/2 and ops")
+	locks := flag.Bool("locks", false, "print the contention snapshot (per-lock waits, attribution, run-queue delays) instead of the accounting view")
 	profileOut := flag.String("profile", "", "also write <prefix>.folded and <prefix>.pb.gz cycle profiles")
 	flag.Parse()
 
-	full, tr, err := run(*workload, *seed, *ops, *cores)
+	full, tr, cobs, err := run(*workload, *seed, *ops, *cores)
 	if err != nil {
 		fail(err)
 	}
-	if *diff {
-		half, _, err := run(*workload, *seed, *ops/2, *cores)
+	switch {
+	case *locks && *diff:
+		_, _, half, err := run(*workload, *seed, *ops/2, *cores)
+		if err != nil {
+			fail(err)
+		}
+		printLocksDiff(half, cobs, *ops)
+	case *locks:
+		printLocks(cobs, *ops)
+	case *diff:
+		half, _, _, err := run(*workload, *seed, *ops/2, *cores)
 		if err != nil {
 			fail(err)
 		}
 		printDiff(half, full, *ops)
-	} else {
+	default:
 		printSnapshot(full, *ops)
 	}
 	if *profileOut != "" {
@@ -61,48 +74,54 @@ func main() {
 	}
 }
 
-// run executes the workload with a fresh ledger + tracer attached and
-// returns both after a final closure audit.
-func run(workload string, seed uint64, ops, cores int) (*account.Ledger, *obs.Tracer, error) {
+// run executes the workload with a fresh ledger + tracer + contention
+// observatory attached and returns all three after a final closure
+// audit. Each run gets its own observatory (like the ledger), so the
+// -diff halves never share frontier registrations.
+func run(workload string, seed uint64, ops, cores int) (*account.Ledger, *obs.Tracer, *contend.Observatory, error) {
 	l := account.NewLedger()
 	tr := obs.NewTracer(0)
+	cobs := contend.New()
 	var err error
 	switch workload {
 	case "multicore":
 		// The alloc sub-workload of the multicore series: per-core page
 		// caches on, so the "page-cache" pseudo-container row shows the
 		// frames parked in per-core caches at the end of the run.
+		bench.SetContention(cobs)
 		_, _, _, err = bench.RunMulticore("alloc", cores, seed, ops, tr, nil, l)
+		bench.SetContention(nil)
 	case "kvstore":
 		_, err = drivers.RunChaosKV(drivers.ChaosConfig{
-			Seed: seed, Ops: ops, Trace: tr, Ledger: l,
+			Seed: seed, Ops: ops, Trace: tr, Ledger: l, Contend: cobs,
 		})
 	case "chaos":
 		_, err = drivers.RunChaosKV(drivers.ChaosConfig{
-			Seed: seed, Ops: ops, Plan: drivers.DefaultChaosPlan(), Trace: tr, Ledger: l,
+			Seed: seed, Ops: ops, Plan: drivers.DefaultChaosPlan(), Trace: tr, Ledger: l, Contend: cobs,
 		})
 	case "ipc":
-		err = runIPC(l, tr, ops)
+		err = runIPC(l, tr, cobs, ops)
 	default:
-		return nil, nil, fmt.Errorf("unknown workload %q (kvstore, chaos, ipc, multicore)", workload)
+		return nil, nil, nil, fmt.Errorf("unknown workload %q (kvstore, chaos, ipc, multicore)", workload)
 	}
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if err := l.Audit(); err != nil {
-		return nil, nil, fmt.Errorf("closure audit failed: %w", err)
+		return nil, nil, nil, fmt.Errorf("closure audit failed: %w", err)
 	}
-	return l, tr, nil
+	return l, tr, cobs, nil
 }
 
 // runIPC is the Table 3 call/reply ping-pong with accounting attached.
-func runIPC(l *account.Ledger, tr *obs.Tracer, rounds int) error {
+func runIPC(l *account.Ledger, tr *obs.Tracer, cobs *contend.Observatory, rounds int) error {
 	k, init, err := kernel.Boot(hw.Config{Frames: 1024, Cores: 2, TLBSlots: 64})
 	if err != nil {
 		return err
 	}
 	k.AttachObs(tr, nil)
 	k.AttachLedger(l)
+	k.AttachContention(cobs)
 	r := k.SysNewThread(0, init, 0)
 	if r.Errno != kernel.OK {
 		return fmt.Errorf("new_thread: %v", r.Errno)
@@ -168,6 +187,39 @@ func printDiff(half, full *account.Ledger, ops int) {
 	}
 	fmt.Printf("\nlive pages %d -> %d (watermark %d -> %d)\n",
 		half.LivePages(), full.LivePages(), half.Watermark(), full.Watermark())
+}
+
+// printLocks renders the contention snapshot: the observatory's full
+// report (top-contended locks, wait attribution, run-queue delays,
+// ordering status). Every section is sorted, so equal runs print
+// byte-identically — golden tests diff this output directly.
+func printLocks(o *contend.Observatory, ops int) {
+	fmt.Printf("contention after %d ops:\n", ops)
+	if err := o.WriteReport(os.Stdout); err != nil {
+		fail(err)
+	}
+}
+
+// printLocksDiff shows what each lock frontier accumulated over the
+// second half of the run: the half-ops observatory is an exact prefix
+// of the full one (determinism), so the deltas are exact.
+func printLocksDiff(half, full *contend.Observatory, ops int) {
+	halfRows := make(map[string]contend.LockSummary)
+	for _, s := range half.Summary() {
+		halfRows[s.Ident] = s
+	}
+	fmt.Printf("contention delta over ops %d..%d:\n", ops/2, ops)
+	fmt.Printf("%-24s %10s %10s %14s\n", "LOCK", "ΔACQ", "ΔCONTEND", "ΔWAITCYCLES")
+	for _, s := range full.Summary() {
+		h := halfRows[s.Ident]
+		fmt.Printf("%-24s %+10d %+10d %+14d\n", s.Ident,
+			int64(s.Acquisitions)-int64(h.Acquisitions),
+			int64(s.Contended)-int64(h.Contended),
+			int64(s.WaitCycles)-int64(h.WaitCycles))
+	}
+	fmt.Printf("\nsteals %d -> %d, runq delays observed %d -> %d\n",
+		half.Steals(), full.Steals(),
+		half.RunqDelays().Count(), full.RunqDelays().Count())
 }
 
 func fail(err error) {

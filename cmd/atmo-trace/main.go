@@ -13,12 +13,19 @@
 //	atmo-trace -workload multicore -cores 4 -o trace.json
 //	atmo-trace -workload cluster -seed 1107 -o trace.json
 //	atmo-trace -workload cluster -merged -seed 1107 -o merged.json
+//	atmo-trace -workload multicore -cores 4 -contention -o trace.json
 //
 // With -merged the cluster workload runs with distributed tracing on
 // and -o receives the merged multi-machine trace instead: one process
 // track per participant (client, lb, every backend) with flow arrows
 // linking each request's hops, plus a critical-path attribution report
 // on stdout.
+//
+// With -contention a contention observatory rides the run: per-lock
+// wait-rate and holder-queue-depth counter tracks merge onto the
+// exported timeline, and the deterministic contention report (top
+// contended locks, per-syscall/container wait attribution, run-queue
+// delays) prints to stdout.
 package main
 
 import (
@@ -33,6 +40,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/contend"
 	"atmosphere/internal/obs/dist"
 	"atmosphere/internal/obs/profile"
 	"atmosphere/internal/pm"
@@ -48,28 +56,37 @@ func main() {
 	profileOut := flag.String("profile", "", "write <prefix>.folded and <prefix>.pb.gz cycle profiles (empty = skip)")
 	events := flag.Int("events", obs.DefaultEventCapacity, "tracer ring capacity (events)")
 	merged := flag.Bool("merged", false, "cluster workload: distributed tracing on, write the merged multi-machine trace to -o")
+	contention := flag.Bool("contention", false, "attach a contention observatory: counter tracks in the trace plus a contention report on stdout")
 	flag.Parse()
 	if *merged && *workload != "cluster" {
 		fmt.Fprintln(os.Stderr, "atmo-trace: -merged requires -workload cluster")
 		os.Exit(2)
 	}
+	if *contention && *workload == "cluster" {
+		fmt.Fprintln(os.Stderr, "atmo-trace: -contention covers the single-machine workloads (kvstore, chaos, ipc, multicore)")
+		os.Exit(2)
+	}
 
 	tracer := obs.NewTracer(*events)
 	registry := obs.NewRegistry()
+	var cobs *contend.Observatory
+	if *contention {
+		cobs = contend.New()
+	}
 
 	var totalCycles uint64
 	var distCol *dist.Collector
 	var err error
 	switch *workload {
 	case "kvstore":
-		totalCycles, err = runKV(tracer, registry, *seed, *ops, drivers.ChaosConfig{})
+		totalCycles, err = runKV(tracer, registry, *seed, *ops, drivers.ChaosConfig{Contend: cobs})
 	case "chaos":
 		totalCycles, err = runKV(tracer, registry, *seed, *ops,
-			drivers.ChaosConfig{Plan: drivers.DefaultChaosPlan()})
+			drivers.ChaosConfig{Plan: drivers.DefaultChaosPlan(), Contend: cobs})
 	case "ipc":
-		totalCycles, err = runIPC(tracer, registry, *ops)
+		totalCycles, err = runIPC(tracer, registry, cobs, *ops)
 	case "multicore":
-		totalCycles, err = runMulticore(tracer, registry, *cores, *seed, *ops)
+		totalCycles, err = runMulticore(tracer, registry, cobs, *cores, *seed, *ops)
 	case "cluster":
 		totalCycles, distCol, err = runCluster(tracer, registry, *seed, *merged)
 	default:
@@ -125,6 +142,12 @@ func main() {
 		}
 	}
 
+	if cobs != nil {
+		if err := cobs.WriteReport(os.Stdout); err != nil {
+			fail(err)
+		}
+	}
+
 	coverage := 0.0
 	if totalCycles > 0 {
 		coverage = 100 * float64(tracer.SpanTotal()) / float64(totalCycles)
@@ -153,8 +176,14 @@ func runKV(t *obs.Tracer, m *obs.Registry, seed uint64, ops int, cfg drivers.Cha
 // runMulticore traces the multicore scalability series' three
 // sub-workloads back to back on a cores-wide machine: contention-aware
 // big lock, per-core page caches, work stealing — the lock.wait spans
-// show up on every contended core's timeline.
-func runMulticore(t *obs.Tracer, m *obs.Registry, cores int, seed uint64, ops int) (uint64, error) {
+// show up on every contended core's timeline. When cobs is non-nil all
+// three sub-workloads report into it; each booted kernel registers a
+// distinct big-lock frontier (big/kernel, big/kernel#1, ...).
+func runMulticore(t *obs.Tracer, m *obs.Registry, cobs *contend.Observatory, cores int, seed uint64, ops int) (uint64, error) {
+	if cobs != nil {
+		bench.SetContention(cobs)
+		defer bench.SetContention(nil)
+	}
 	var total uint64
 	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
 		_, _, tc, err := bench.RunMulticore(wl, cores, seed, ops, t, m, nil)
@@ -195,12 +224,15 @@ func runCluster(t *obs.Tracer, m *obs.Registry, seed uint64, merged bool) (uint6
 
 // runIPC traces a bare call/reply ping-pong — the Table 3 microbench
 // shape, instrumented.
-func runIPC(t *obs.Tracer, m *obs.Registry, rounds int) (uint64, error) {
+func runIPC(t *obs.Tracer, m *obs.Registry, cobs *contend.Observatory, rounds int) (uint64, error) {
 	k, init, err := kernel.Boot(hw.Config{Frames: 1024, Cores: 2, TLBSlots: 64})
 	if err != nil {
 		return 0, err
 	}
 	k.AttachObs(t, m)
+	if cobs != nil {
+		k.AttachContention(cobs)
+	}
 	r := k.SysNewThread(0, init, 0)
 	if r.Errno != kernel.OK {
 		return 0, fmt.Errorf("atmo-trace: new_thread: %v", r.Errno)

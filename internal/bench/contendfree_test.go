@@ -1,0 +1,143 @@
+package bench
+
+import (
+	"testing"
+
+	"atmosphere/internal/cluster"
+	"atmosphere/internal/faults"
+	"atmosphere/internal/hw"
+	"atmosphere/internal/obs/contend"
+)
+
+// The contention observatory's analog of TestTracingIsFree: with the
+// observatory off, every multicore series point and both cluster
+// scenarios must reproduce the pre-observatory baselines bit for bit;
+// with it attached, not a single simulated wall-clock cycle may move.
+// The baselines below were captured on the build immediately before the
+// observatory landed (mcSeed workloads at the series core counts;
+// cluster DefaultConfig at 2000 ticks, chaos = the bench kill plan).
+var mcWallBaseline = map[string]map[int]uint64{
+	"ipc":     {1: 424000, 2: 848000, 4: 1696000, 8: 3392000},
+	"kvstore": {1: 274112, 2: 277000, 4: 283886, 8: 467748},
+	"alloc":   {1: 584794, 2: 620174, 4: 788322, 8: 1573868},
+}
+
+func TestContentionObsIsFree(t *testing.T) {
+	savedC := benchContend
+	SetContention(nil)
+	defer SetContention(savedC)
+
+	// Off: the runs themselves must not have drifted from the
+	// pre-observatory build.
+	off := map[string]map[int]uint64{}
+	for wl, byCores := range mcWallBaseline {
+		off[wl] = map[int]uint64{}
+		for n, want := range byCores {
+			_, wall, err := runMulticore(wl, n, mcSeed)
+			if err != nil {
+				t.Fatalf("%s %dc: %v", wl, n, err)
+			}
+			if wall != want {
+				t.Errorf("%s %dc without observatory = %d wall cycles, baseline %d", wl, n, wall, want)
+			}
+			off[wl][n] = wall
+		}
+	}
+
+	// On: one observatory across the whole grid (frontiers accumulate,
+	// like a long-lived monitoring attach) — zero cycles may move.
+	cobs := contend.New()
+	SetContention(cobs)
+	for wl, byCores := range mcWallBaseline {
+		for n := range byCores {
+			_, wall, err := runMulticore(wl, n, mcSeed)
+			if err != nil {
+				t.Fatalf("%s %dc observed: %v", wl, n, err)
+			}
+			if wall != off[wl][n] {
+				t.Errorf("%s %dc: observatory moved the run: %d -> %d wall cycles", wl, n, off[wl][n], wall)
+			}
+		}
+	}
+	SetContention(nil)
+
+	// The attached runs must actually have fed the observatory, or the
+	// equality above proved nothing.
+	var waits uint64
+	for _, s := range cobs.Summary() {
+		waits += s.WaitCycles
+	}
+	if waits == 0 {
+		t.Error("observatory attached but recorded no wait cycles — the guard proved nothing")
+	}
+	if cobs.RunqDelays().Count() == 0 {
+		t.Error("observatory attached but saw no run-queue delays")
+	}
+}
+
+// Cluster baselines with the contention observatory absent (it never
+// wires into the cluster loop): both scenarios' cycles, tail SLOs, and
+// trace hashes must keep reproducing the pre-observatory numbers.
+func TestContentionObsIsFreeCluster(t *testing.T) {
+	run := func(plan faults.Plan) cluster.Report {
+		cfg := cluster.DefaultConfig()
+		cfg.Plan = plan
+		c, err := cluster.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Run()
+	}
+
+	steady := run(faults.Plan{})
+	if steady.Responses != 15968 || steady.KernelCycles != 14194486 {
+		t.Errorf("steady responses=%d cycles=%d, baseline 15968/14194486", steady.Responses, steady.KernelCycles)
+	}
+	if steady.P50 != 80000 || steady.P99 != 80000 {
+		t.Errorf("steady p50=%d p99=%d, baseline 80000/80000", steady.P50, steady.P99)
+	}
+	if steady.TraceHash != 0x540cd10528418b6b {
+		t.Errorf("steady trace hash %#x, baseline 0x540cd10528418b6b", steady.TraceHash)
+	}
+
+	chaos := run(clusterChaosPlan())
+	if chaos.Responses != 15968 || chaos.KernelCycles != 13997628 {
+		t.Errorf("chaos responses=%d cycles=%d, baseline 15968/13997628", chaos.Responses, chaos.KernelCycles)
+	}
+	if chaos.P999 != 600000 || chaos.ReconvergeKillCycles != 180000 {
+		t.Errorf("chaos p999=%d reconverge=%d, baseline 600000/180000", chaos.P999, chaos.ReconvergeKillCycles)
+	}
+	if chaos.TraceHash != 0x766d9033f95ed8df {
+		t.Errorf("chaos trace hash %#x, baseline 0x766d9033f95ed8df", chaos.TraceHash)
+	}
+}
+
+// The lock-order self-test at the bench layer: plant the same inversion
+// into two fresh observatories and require the checker to name both
+// acquisition sites, byte-identically across the runs.
+func TestContentionPlantedInversionDeterministic(t *testing.T) {
+	plant := func() string {
+		o := contend.New()
+		var big, ep hw.LockSim
+		big.SetIdentity("big", "kernel")
+		ep.SetIdentity("endpoint", "e3")
+		bigID := o.Register(&big)
+		epID := o.Register(&ep)
+		o.ArmOrder(contend.KernelOrder(), 2)
+		o.Acquired(1, epID, "edpt_poll")
+		o.Acquired(1, bigID, "syscall") // endpoint -> big: inversion
+		v := o.FirstInversion()
+		if v == nil {
+			t.Fatal("planted inversion not caught")
+		}
+		return v.String()
+	}
+	first, second := plant(), plant()
+	if first != second {
+		t.Errorf("inversion report not deterministic:\n%s\n%s", first, second)
+	}
+	want := `lock-order inversion on core 1: acquiring big/kernel at "syscall" while holding endpoint/e3 acquired at "edpt_poll" (no endpoint -> big edge declared)`
+	if first != want {
+		t.Errorf("inversion report = %q, want %q", first, want)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
 	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/contend"
 )
 
 // Observability taps for the benchmark kernels. Each experiment boots
@@ -15,6 +16,7 @@ var (
 	benchTracer  *obs.Tracer
 	benchMetrics *obs.Registry
 	benchLedger  *account.Ledger
+	benchContend *contend.Observatory
 )
 
 // SetObs installs the tracer/registry every subsequent experiment
@@ -31,6 +33,13 @@ func SetObs(t *obs.Tracer, m *obs.Registry) {
 // attribution rows, which is what -profile consumers want.
 func SetLedger(l *account.Ledger) { benchLedger = l }
 
+// SetContention installs a contention observatory every subsequent
+// experiment attaches to its kernel (nil disables). Unlike the ledger
+// the observatory accumulates across boots — repeated experiments
+// register their big locks as distinct frontiers, so an `atmo-trace`
+// session over several workloads reports all of them.
+func SetContention(o *contend.Observatory) { benchContend = o }
+
 // attachObs wires the installed sinks into a freshly booted kernel.
 func attachObs(k *kernel.Kernel) {
 	if benchTracer != nil || benchMetrics != nil {
@@ -38,5 +47,8 @@ func attachObs(k *kernel.Kernel) {
 	}
 	if benchLedger != nil {
 		k.AttachLedger(benchLedger)
+	}
+	if benchContend != nil {
+		k.AttachContention(benchContend)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"atmosphere/internal/nvme"
 	"atmosphere/internal/obs"
 	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/contend"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/verify"
 )
@@ -53,6 +54,11 @@ type ChaosConfig struct {
 	// invariant violation in the report. Driver container generations
 	// are named "nvme.gen<N>" in the ledger.
 	Ledger *account.Ledger
+
+	// Contend, when set, is attached to the kernel: the big lock
+	// registers as a frontier and the scheduler's run-queue delays feed
+	// it. Like the other sinks it never charges a cycle.
+	Contend *contend.Observatory
 }
 
 // ChaosReport is the deterministic outcome of a chaos run: two runs
@@ -175,6 +181,9 @@ func RunChaosKV(cfg ChaosConfig) (*ChaosReport, error) {
 	k.AttachObs(cfg.Trace, cfg.Metrics)
 	if cfg.Ledger != nil {
 		k.AttachLedger(cfg.Ledger)
+	}
+	if cfg.Contend != nil {
+		k.AttachContention(cfg.Contend)
 	}
 	h := &chaosHarness{cfg: cfg, k: k, init: init}
 	h.report.Ops = cfg.Ops

@@ -32,6 +32,72 @@ type LockSim struct {
 	// perturbing the FIFO service order without giving up reproducibility.
 	jitterMax   uint64
 	jitterState uint64
+
+	// Identity (SetIdentity): the lock's class ("big", "endpoint",
+	// "container", ...) and instance label. A kernel with one frontier
+	// has one class; a sharded kernel registers many instances of a few
+	// classes into one contention registry, which attributes waits and
+	// checks acquisition ordering per class.
+	class    string
+	instance string
+
+	// obs, when non-nil, receives every enabled acquisition and release
+	// (SetObserver). The observer reads state and charges nothing, so
+	// attaching one never changes a wait.
+	obs LockObserver
+}
+
+// LockObserver receives a registered lock's enabled acquisitions and
+// releases — the hook a contention registry (internal/obs/contend)
+// installs so every frontier reports into it. Implementations must not
+// charge cycles.
+type LockObserver interface {
+	// LockAcquire fires after the wait is computed: arrival is the
+	// (jittered) arrival timestamp, wait the cycles the core will spin.
+	LockAcquire(l *LockSim, arrival, wait uint64)
+	// LockRelease fires after the frontier update with the new frontier.
+	LockRelease(l *LockSim, frontier uint64)
+}
+
+// SetIdentity names the lock: a class shared with every frontier of the
+// same kind plus an instance label. Registries key ordering rules by
+// class and reports by (class, instance).
+func (l *LockSim) SetIdentity(class, instance string) {
+	if l != nil {
+		l.class, l.instance = class, instance
+	}
+}
+
+// Class returns the lock's class ("" until SetIdentity).
+func (l *LockSim) Class() string {
+	if l == nil {
+		return ""
+	}
+	return l.class
+}
+
+// Instance returns the lock's instance label ("" until SetIdentity).
+func (l *LockSim) Instance() string {
+	if l == nil {
+		return ""
+	}
+	return l.instance
+}
+
+// SetObserver installs (or, with nil, removes) the acquisition observer.
+func (l *LockSim) SetObserver(o LockObserver) {
+	if l != nil {
+		l.obs = o
+	}
+}
+
+// Frontier returns the current frontier — the global cycle at which the
+// lock is next free. It is monotone: Release never moves it backwards.
+func (l *LockSim) Frontier() uint64 {
+	if l == nil {
+		return 0
+	}
+	return l.freeAt
 }
 
 // Enable turns the contention model on. Off (the zero value), Acquire
@@ -79,12 +145,15 @@ func (l *LockSim) Acquire(arrival uint64) uint64 {
 		arrival += l.nextJitter()
 	}
 	l.acquisitions++
-	if l.freeAt <= arrival {
-		return 0
+	var wait uint64
+	if l.freeAt > arrival {
+		wait = l.freeAt - arrival
+		l.contended++
+		l.waitCycles += wait
 	}
-	wait := l.freeAt - arrival
-	l.contended++
-	l.waitCycles += wait
+	if l.obs != nil {
+		l.obs.LockAcquire(l, arrival, wait)
+	}
 	return wait
 }
 
@@ -98,6 +167,9 @@ func (l *LockSim) Release(heldUntil uint64) {
 	}
 	if heldUntil > l.freeAt {
 		l.freeAt = heldUntil
+	}
+	if l.obs != nil {
+		l.obs.LockRelease(l, l.freeAt)
 	}
 }
 

@@ -125,15 +125,25 @@ func (k *Kernel) RaiseIRQ(core int, irq int) {
 	// Interrupt dispatch contends for the big lock like a syscall does
 	// (§3: interrupts serialize too); all of its work is lock-held.
 	arrival := cclk.Cycles()
-	if wait := k.lock.Acquire(arrival); wait > 0 {
+	wait := k.lock.Acquire(arrival)
+	if wait > 0 {
 		cclk.Charge(wait)
 		k.lockWait(core, arrival, wait)
+	}
+	if k.cobs != nil {
+		k.cobs.Acquired(core, k.bigID, "irq")
 	}
 	start := k.kclock.Cycles()
 	base := cclk.Cycles()
 	defer func() {
 		k.noteIRQ(core, irq, base, k.kclock.Cycles()-start)
 		cclk.Charge(k.kclock.Cycles() - start)
+		if k.cobs != nil {
+			// Interrupt dispatch has no calling container: attribute the
+			// wait to the "irq" pseudo-syscall, unowned.
+			k.cobs.AttributeWait(k.bigID, "irq", 0, core, wait)
+			k.cobs.Released(core, k.bigID)
+		}
 		k.lock.Release(cclk.Cycles())
 		k.big.Unlock()
 	}()

@@ -18,6 +18,7 @@ import (
 	"atmosphere/internal/iommu"
 	"atmosphere/internal/mem"
 	"atmosphere/internal/obs/account"
+	"atmosphere/internal/obs/contend"
 	"atmosphere/internal/pm"
 )
 
@@ -133,6 +134,18 @@ type Kernel struct {
 	// state, so attaching it cannot change a charged cycle.
 	ledger *account.Ledger
 
+	// cobs is the attached contention observatory (internal/obs/contend);
+	// nil unless AttachContention wired one in. bigID is the big lock's
+	// frontier registration; cSys/cCntr/cWait carry the in-flight entry's
+	// attribution (syscall name from post, container from callerThread,
+	// wait cycles from the contention model) until the leave closure
+	// bills them.
+	cobs  *contend.Observatory
+	bigID contend.LockID
+	cSys  string
+	cCntr pm.Ptr
+	cWait uint64
+
 	// lcntr is the container the in-flight syscall's cycles are billed
 	// to: the caller's owning container, resolved by callerThread.
 	lcntr pm.Ptr
@@ -203,9 +216,16 @@ func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 	// until the frontier — pure wait, charged to the core alone, visible
 	// as a lock.wait span. CostBigLock below stays the uncontended cost.
 	arrival := cclk.Cycles()
-	if wait := k.lock.Acquire(arrival); wait > 0 {
+	wait := k.lock.Acquire(arrival)
+	if wait > 0 {
 		cclk.Charge(wait)
 		k.lockWait(core, arrival, wait)
+	}
+	if k.cobs != nil {
+		// Order check + held-stack push; the syscall name and container
+		// are unknown yet, so attribution waits for the leave closure.
+		k.cobs.Acquired(core, k.bigID, "syscall")
+		k.cSys, k.cCntr, k.cWait = "", 0, wait
 	}
 	start := k.kclock.Cycles()
 	k.local = 0
@@ -228,6 +248,10 @@ func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 			k.lcntr = 0
 		}
 		cclk.Charge(delta)
+		if k.cobs != nil {
+			k.cobs.AttributeWait(k.bigID, k.cSys, k.cCntr, core, k.cWait)
+			k.cobs.Released(core, k.bigID)
+		}
 		// The core-local share (page-cache hand-outs) does not extend
 		// the hold time other cores observe.
 		k.lock.Release(cclk.Cycles() - k.local)
@@ -307,12 +331,19 @@ func (k *Kernel) callerThread(tid pm.Ptr) (*pm.Thread, bool) {
 		k.ledger.SetContext(t.OwningCntr)
 		k.lcntr = t.OwningCntr
 	}
+	if k.cobs != nil {
+		// And the container the entry's lock wait is attributed to.
+		k.cCntr = t.OwningCntr
+	}
 	return t, true
 }
 
 func (k *Kernel) post(name string, caller pm.Ptr, ret Ret) Ret {
 	if k.obs != nil {
 		k.obs.post(name, ret.Errno)
+	}
+	if k.cobs != nil {
+		k.cSys = name
 	}
 	if k.PostSyscall != nil {
 		k.PostSyscall(name, caller, ret)

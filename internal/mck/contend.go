@@ -1,0 +1,35 @@
+package mck
+
+import (
+	"atmosphere/internal/kernel"
+	"atmosphere/internal/obs/contend"
+)
+
+// WithLockOrder returns a copy of opt whose boot hook additionally
+// attaches a fresh contention observatory to each booted kernel and
+// arms the runtime lock-order checker against the kernel's declared
+// ordering (contend.KernelOrder). The returned function reports the
+// first ordering inversion any of those kernels observed (nil if
+// none) — fuzz targets and atmo-fuzz call it after the run and fail
+// with the checker's two-site report.
+func (opt Options) WithLockOrder() (Options, func() *contend.Inversion) {
+	var observed []*contend.Observatory
+	prev := opt.Hook
+	opt.Hook = func(k *kernel.Kernel) {
+		if prev != nil {
+			prev(k)
+		}
+		o := contend.New()
+		k.AttachContention(o)
+		k.ArmLockOrder()
+		observed = append(observed, o)
+	}
+	return opt, func() *contend.Inversion {
+		for _, o := range observed {
+			if v := o.FirstInversion(); v != nil {
+				return v
+			}
+		}
+		return nil
+	}
+}

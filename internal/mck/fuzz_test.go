@@ -37,8 +37,9 @@ func fuzzSeeds(f *testing.F) {
 
 // FuzzDiff decodes arbitrary bytes into a syscall program (decoding is
 // total) and runs it through the lockstep differential oracle: any
-// kernel-vs-spec divergence, interpreter errno mismatch, or kernel
-// panic fails the target.
+// kernel-vs-spec divergence, interpreter errno mismatch, kernel panic,
+// or lock-order inversion (the checker runs armed under fuzzing) fails
+// the target.
 func FuzzDiff(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -46,18 +47,23 @@ func FuzzDiff(f *testing.F) {
 		if len(p.Ops) > fuzzOps {
 			p.Ops = p.Ops[:fuzzOps]
 		}
-		res, _, err := RunDiff(p, Options{WFEvery: 64})
+		opt, inversion := Options{WFEvery: 64}.WithLockOrder()
+		res, _, err := RunDiff(p, opt)
 		if err != nil {
 			t.Fatalf("boot: %v", err)
 		}
 		if res != nil {
 			t.Fatalf("divergence: %v\nrepro:\n%s", res, p.EncodeRepro())
 		}
+		if v := inversion(); v != nil {
+			t.Fatalf("%s\nrepro:\n%s", v, p.EncodeRepro())
+		}
 	})
 }
 
 // FuzzChecked runs the same decoded programs through the per-syscall
-// spec predicates and the invariant suite instead of the interpreter.
+// spec predicates and the invariant suite instead of the interpreter,
+// with the lock-order checker armed as well.
 func FuzzChecked(f *testing.F) {
 	fuzzSeeds(f)
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -65,8 +71,12 @@ func FuzzChecked(f *testing.F) {
 		if len(p.Ops) > fuzzOps {
 			p.Ops = p.Ops[:fuzzOps]
 		}
-		if _, err := RunChecked(p, Options{}); err != nil {
+		opt, inversion := Options{}.WithLockOrder()
+		if _, err := RunChecked(p, opt); err != nil {
 			t.Fatalf("checked run: %v\nrepro:\n%s", err, p.EncodeRepro())
+		}
+		if v := inversion(); v != nil {
+			t.Fatalf("%s\nrepro:\n%s", v, p.EncodeRepro())
 		}
 	})
 }

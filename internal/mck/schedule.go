@@ -9,6 +9,7 @@ import (
 	"atmosphere/internal/hw"
 	"atmosphere/internal/kernel"
 	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/contend"
 	"atmosphere/internal/pm"
 	"atmosphere/internal/pt"
 	"atmosphere/internal/verify"
@@ -81,6 +82,12 @@ func runSchedule(seed uint64, rounds int, opt Options) (hashes []uint64, steals,
 	}
 	tracer := obs.NewTracer(0)
 	k.AttachObs(tracer, nil)
+	// Schedule exploration runs with the lock-order checker armed: any
+	// interleaving the perturbations produce must still respect the
+	// declared ordering DAG (contend.KernelOrder).
+	cobs := contend.New()
+	k.AttachContention(cobs)
+	k.ArmLockOrder()
 	k.PM.EnableWorkStealing()
 	k.PM.SetStealSeed(seed)
 
@@ -183,6 +190,9 @@ func runSchedule(seed uint64, rounds int, opt Options) (hashes []uint64, steals,
 	}
 	if err := verify.TotalWF(k); err != nil {
 		return nil, 0, 0, fmt.Errorf("final: invariants: %w", err)
+	}
+	if v := cobs.FirstInversion(); v != nil {
+		return nil, 0, 0, fmt.Errorf("lock order: %s", v)
 	}
 	_, contended, _ = k.LockStats()
 	return perCoreTraceHashes(tracer, cores), k.PM.Steals(), contended, nil

@@ -80,6 +80,8 @@ func WriteTrace(w io.Writer, t *Tracer) error {
 			b.WriteString(",\"ph\":\"X\"")
 		case KindInstant:
 			b.WriteString(",\"ph\":\"i\",\"s\":\"t\"")
+		case KindCounter:
+			b.WriteString(",\"ph\":\"C\"")
 		}
 		b.WriteString(",\"pid\":")
 		b.WriteString(strconv.Itoa(tr.PID))
@@ -91,7 +93,13 @@ func WriteTrace(w io.Writer, t *Tracer) error {
 			b.WriteString(",\"dur\":")
 			writeTS(b, e.Dur)
 		}
-		if e.Arg != 0 {
+		if e.Kind == KindCounter {
+			// Counter samples always carry their value — zero included,
+			// since a drop back to zero is exactly what the step shows.
+			b.WriteString(",\"args\":{\"value\":")
+			b.WriteString(strconv.FormatUint(e.Arg, 10))
+			b.WriteString("}")
+		} else if e.Arg != 0 {
 			b.WriteString(",\"args\":{\"arg\":")
 			b.WriteString(strconv.FormatUint(e.Arg, 10))
 			b.WriteString("}")

@@ -44,6 +44,10 @@ const (
 	KindSpan EventKind = iota
 	// KindInstant is a point event at TS.
 	KindInstant
+	// KindCounter is a counter sample at TS: Arg carries the value. The
+	// Perfetto export renders it as a "C" event, which the UI draws as a
+	// step-function counter track keyed by (pid, name).
+	KindCounter
 )
 
 // Event is one recorded trace event: a fixed-size value so the ring
@@ -183,6 +187,16 @@ func (t *Tracer) Instant(track TrackID, name NameID, ts, arg uint64) {
 		return
 	}
 	t.push(Event{Kind: KindInstant, Track: track, Name: name, TS: ts, Arg: arg})
+}
+
+// Counter records a counter sample: the named series holds value from
+// ts onward. Perfetto draws one counter track per (pid, name), so
+// series names should be fully qualified ("lock.big.kernel.queue").
+func (t *Tracer) Counter(track TrackID, name NameID, ts, value uint64) {
+	if t == nil {
+		return
+	}
+	t.push(Event{Kind: KindCounter, Track: track, Name: name, TS: ts, Arg: value})
 }
 
 // Span is also available as a begin/end pair for call sites that prefer

@@ -146,6 +146,12 @@ type Thread struct {
 
 	// IPC rendezvous state while blocked (see kernel package).
 	IPC IPCState
+
+	// ReadyAt is observability-only state: the manager clock reading at
+	// which the thread last became runnable, stamped only while a
+	// SchedObserver is attached (zero otherwise, and reset once the
+	// ready→running delay is reported). Never read by kernel logic.
+	ReadyAt uint64
 }
 
 // IPCState carries a blocked thread's pending transfer.

@@ -27,6 +27,38 @@ type Scheduler struct {
 	// interleavings the fixed policy never produces.
 	stealSeeded bool
 	stealSeed   uint64
+
+	// obs, when non-nil (SetSchedObserver), receives ready→running
+	// run-queue delays, steal provenance, and blocked-on edges. clock is
+	// the manager clock the timestamps read; neither is ever charged, so
+	// attaching an observer cannot move a cycle.
+	obs   SchedObserver
+	clock *hw.Clock
+}
+
+// SchedObserver receives scheduler events for contention attribution
+// (internal/obs/contend). Implementations only record — they must not
+// charge cycles or mutate scheduler state. All timestamps are manager
+// clock readings.
+type SchedObserver interface {
+	// RunqDelay reports one ready→running transition: the thread of
+	// container cntr waited delay cycles on core's run queue.
+	RunqDelay(core int, cntr Ptr, delay, now uint64)
+	// Steal reports one work-stealing migration: thief took thrd (of
+	// container cntr) from victim's queue.
+	Steal(thief, victim int, thrd, cntr Ptr, now uint64)
+	// Blocked reports a thread of container cntr blocking on object on
+	// (the endpoint of an IPC rendezvous).
+	Blocked(thrd, cntr, on Ptr, now uint64)
+}
+
+// SetSchedObserver attaches (or, with nil, detaches) a scheduler
+// observer. While attached, enqueue stamps each thread's ReadyAt so the
+// ready→running delay is exact; detached, nothing is stamped and the
+// scheduler behaves bit-identically to an unobserved one.
+func (m *ProcessManager) SetSchedObserver(o SchedObserver) {
+	m.sched.obs = o
+	m.sched.clock = m.clock
 }
 
 func newScheduler(cores int) *Scheduler {
@@ -55,7 +87,26 @@ func (s *Scheduler) enqueue(t *Thread) {
 	if t.State != ThreadRunnable {
 		panic(fmt.Sprintf("pm: enqueueing %v thread %#x", t.State, t.Ptr))
 	}
+	if s.obs != nil {
+		t.ReadyAt = s.clock.Cycles()
+	}
 	s.queues[t.Core] = append(s.queues[t.Core], t.Ptr)
+}
+
+// noteRun reports a ready→running transition to the observer. Threads
+// enqueued before the observer attached carry no stamp and are skipped;
+// the stamp is consumed so a later re-dispatch cannot double-report.
+func (s *Scheduler) noteRun(t *Thread, core int) {
+	if s.obs == nil || t.ReadyAt == 0 {
+		return
+	}
+	now := s.clock.Cycles()
+	delay := uint64(0)
+	if now > t.ReadyAt {
+		delay = now - t.ReadyAt
+	}
+	t.ReadyAt = 0
+	s.obs.RunqDelay(core, t.OwningCntr, delay, now)
 }
 
 // remove deletes a thread from wherever the scheduler holds it.
@@ -97,6 +148,7 @@ func (m *ProcessManager) PickNext(core int) Ptr {
 	t := m.Thrd(next)
 	t.State = ThreadRunning
 	s.current[core] = next
+	s.noteRun(t, core)
 	return next
 }
 
@@ -176,6 +228,10 @@ func (m *ProcessManager) trySteal(core int) Ptr {
 		s.current[core] = t.Ptr
 		s.steals++
 		m.clock.Charge(hw.CostSchedSteal)
+		if s.obs != nil {
+			s.obs.Steal(core, victim, t.Ptr, t.OwningCntr, s.clock.Cycles())
+		}
+		s.noteRun(t, core)
 		return t.Ptr
 	}
 	return 0
@@ -205,6 +261,7 @@ func (m *ProcessManager) Dispatch(thrd Ptr) error {
 	t.State = ThreadRunning
 	s.current[core] = thrd
 	m.clock.Charge(hw.CostContextSwitch)
+	s.noteRun(t, core)
 	return nil
 }
 
@@ -227,6 +284,7 @@ func (m *ProcessManager) DirectSwitch(thrd Ptr) {
 	t.State = ThreadRunning
 	s.current[t.Core] = thrd
 	m.clock.Charge(hw.CostDirectSwitch)
+	s.noteRun(t, t.Core)
 }
 
 // BlockCurrent transitions a running thread into an IPC-blocked state and
@@ -243,6 +301,11 @@ func (m *ProcessManager) BlockCurrent(thrd Ptr, state ThreadState) {
 		s.remove(t) // blocking a runnable (not yet dispatched) thread
 	}
 	t.State = state
+	if s.obs != nil {
+		// The syscall layer fills IPC.WaitingOn before blocking, so the
+		// blocked-on edge names the endpoint of the rendezvous.
+		s.obs.Blocked(thrd, t.OwningCntr, t.IPC.WaitingOn, s.clock.Cycles())
+	}
 }
 
 // Wake makes a blocked thread runnable and enqueues it, delivering err as
