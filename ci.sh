@@ -78,14 +78,30 @@ fi
 
 echo "== atmo-top -locks smoke"
 go run ./cmd/atmo-top -workload multicore -cores 4 -ops 100 -locks > "$smoke_dir/locks.txt"
-if ! grep -q "^lock big/kernel " "$smoke_dir/locks.txt"; then
-    echo "atmo-top: -locks smoke shows no big-lock contention row" >&2
+# The alloc workload's hot mmap path resolves to the caller's container
+# frontier under the sharded lock plans; the big lock shows up only for
+# the cache-refill and lifecycle entries.
+if ! grep -q "^lock container/root " "$smoke_dir/locks.txt"; then
+    echo "atmo-top: -locks smoke shows no container-frontier row" >&2
     cat "$smoke_dir/locks.txt" >&2
     exit 1
 fi
-if ! grep -q "^wait big/kernel sys=mmap cntr=root " "$smoke_dir/locks.txt"; then
+if ! grep -q "^lock big/kernel " "$smoke_dir/locks.txt"; then
+    echo "atmo-top: -locks smoke shows no big-lock row" >&2
+    cat "$smoke_dir/locks.txt" >&2
+    exit 1
+fi
+if ! grep -q "^wait container/root sys=mmap cntr=root " "$smoke_dir/locks.txt"; then
     echo "atmo-top: -locks smoke shows no wait-attribution row" >&2
     cat "$smoke_dir/locks.txt" >&2
+    exit 1
+fi
+
+echo "== atmo-top -locks -by-class smoke"
+go run ./cmd/atmo-top -workload multicore -cores 4 -ops 100 -locks -by-class > "$smoke_dir/byclass.txt"
+if ! grep -q "^class container locks=" "$smoke_dir/byclass.txt"; then
+    echo "atmo-top: -by-class smoke shows no container class row" >&2
+    cat "$smoke_dir/byclass.txt" >&2
     exit 1
 fi
 
@@ -162,6 +178,25 @@ if ! grep -q "== contention: locks ==" "$smoke_dir/contend_a.txt"; then
 fi
 if ! grep -q '"lock\.' "$smoke_dir/contend_a.json"; then
     echo "atmo-trace: -contention trace has no lock counter tracks" >&2
+    exit 1
+fi
+
+echo "== atmo-trace -contention 16-core sharded smoke (byte determinism)"
+# The multicore workload includes the many-container ipc sub-workload;
+# at 16 cores its lock plans touch dozens of container and endpoint
+# frontiers, and the export must still be byte-deterministic.
+go run ./cmd/atmo-trace -workload multicore -cores 16 -ops 40 -contention \
+    -o "$smoke_dir/shard_a.json" > "$smoke_dir/shard_a.txt"
+go run ./cmd/atmo-trace -workload multicore -cores 16 -ops 40 -contention \
+    -o "$smoke_dir/shard_b.json" > "$smoke_dir/shard_b.txt"
+if ! cmp -s "$smoke_dir/shard_a.json" "$smoke_dir/shard_b.json"; then
+    echo "atmo-trace: sharded 16-core -contention trace is not byte-deterministic" >&2
+    exit 1
+fi
+grep -v '^wrote ' "$smoke_dir/shard_a.txt" > "$smoke_dir/shard_a.flt"
+grep -v '^wrote ' "$smoke_dir/shard_b.txt" > "$smoke_dir/shard_b.flt"
+if ! cmp -s "$smoke_dir/shard_a.flt" "$smoke_dir/shard_b.flt"; then
+    echo "atmo-trace: sharded 16-core contention report is not deterministic" >&2
     exit 1
 fi
 

@@ -13,8 +13,10 @@
 //	atmo-top -workload kvstore -ops 300 -diff
 //	atmo-top -workload ipc -ops 500
 //	atmo-top -workload multicore -cores 4 -ops 200
-//	atmo-top -workload multicore -cores 4 -locks        # contention snapshot
-//	atmo-top -workload multicore -cores 4 -locks -diff  # second-half contention delta
+//	atmo-top -workload multicore -cores 4 -locks            # contention snapshot
+//	atmo-top -workload multicore -mc ipc -cores 4 -locks    # sharded ipc frontiers
+//	atmo-top -workload multicore -cores 4 -locks -by-class  # one row per lock class
+//	atmo-top -workload multicore -cores 4 -locks -diff      # second-half contention delta
 package main
 
 import (
@@ -38,26 +40,28 @@ func main() {
 	seed := flag.Uint64("seed", 1, "workload seed")
 	ops := flag.Int("ops", 300, "operations (kv ops or ipc round trips; per-core mmaps for multicore)")
 	cores := flag.Int("cores", 4, "core count for the multicore workload")
+	mc := flag.String("mc", "alloc", "multicore sub-workload: ipc, kvstore, alloc")
 	diff := flag.Bool("diff", false, "show the per-container delta between ops/2 and ops")
 	locks := flag.Bool("locks", false, "print the contention snapshot (per-lock waits, attribution, run-queue delays) instead of the accounting view")
+	byClass := flag.Bool("by-class", false, "with -locks: roll the per-lock table up to one row per lock class (big, container, endpoint)")
 	profileOut := flag.String("profile", "", "also write <prefix>.folded and <prefix>.pb.gz cycle profiles")
 	flag.Parse()
 
-	full, tr, cobs, err := run(*workload, *seed, *ops, *cores)
+	full, tr, cobs, err := run(*workload, *mc, *seed, *ops, *cores)
 	if err != nil {
 		fail(err)
 	}
 	switch {
 	case *locks && *diff:
-		_, _, half, err := run(*workload, *seed, *ops/2, *cores)
+		_, _, half, err := run(*workload, *mc, *seed, *ops/2, *cores)
 		if err != nil {
 			fail(err)
 		}
 		printLocksDiff(half, cobs, *ops)
 	case *locks:
-		printLocks(cobs, *ops)
+		printLocks(cobs, *ops, *byClass)
 	case *diff:
-		half, _, _, err := run(*workload, *seed, *ops/2, *cores)
+		half, _, _, err := run(*workload, *mc, *seed, *ops/2, *cores)
 		if err != nil {
 			fail(err)
 		}
@@ -78,18 +82,20 @@ func main() {
 // observatory attached and returns all three after a final closure
 // audit. Each run gets its own observatory (like the ledger), so the
 // -diff halves never share frontier registrations.
-func run(workload string, seed uint64, ops, cores int) (*account.Ledger, *obs.Tracer, *contend.Observatory, error) {
+func run(workload, mc string, seed uint64, ops, cores int) (*account.Ledger, *obs.Tracer, *contend.Observatory, error) {
 	l := account.NewLedger()
 	tr := obs.NewTracer(0)
 	cobs := contend.New()
 	var err error
 	switch workload {
 	case "multicore":
-		// The alloc sub-workload of the multicore series: per-core page
-		// caches on, so the "page-cache" pseudo-container row shows the
-		// frames parked in per-core caches at the end of the run.
+		// One sub-workload of the multicore series, chosen by -mc. For
+		// alloc the per-core page caches are on, so the "page-cache"
+		// pseudo-container row shows the frames parked in per-core
+		// caches at the end of the run; for ipc the contention snapshot
+		// shows the per-container/per-endpoint sharded frontiers.
 		bench.SetContention(cobs)
-		_, _, _, err = bench.RunMulticore("alloc", cores, seed, ops, tr, nil, l)
+		_, _, _, err = bench.RunMulticore(mc, cores, seed, ops, tr, nil, l)
 		bench.SetContention(nil)
 	case "kvstore":
 		_, err = drivers.RunChaosKV(drivers.ChaosConfig{
@@ -191,11 +197,32 @@ func printDiff(half, full *account.Ledger, ops int) {
 
 // printLocks renders the contention snapshot: the observatory's full
 // report (top-contended locks, wait attribution, run-queue delays,
-// ordering status). Every section is sorted, so equal runs print
+// ordering status). With byClass the per-lock table is rolled up to one
+// row per lock class — the readable view once sharding multiplies the
+// frontier count. Every section is sorted, so equal runs print
 // byte-identically — golden tests diff this output directly.
-func printLocks(o *contend.Observatory, ops int) {
+func printLocks(o *contend.Observatory, ops int, byClass bool) {
 	fmt.Printf("contention after %d ops:\n", ops)
-	if err := o.WriteReport(os.Stdout); err != nil {
+	if !byClass {
+		if err := o.WriteReport(os.Stdout); err != nil {
+			fail(err)
+		}
+		return
+	}
+	fmt.Println("== contention: locks by class ==")
+	if err := o.WriteLocksByClass(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Println("== contention: attribution ==")
+	if err := o.WriteAttribution(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Println("== contention: scheduler ==")
+	if err := o.WriteSched(os.Stdout); err != nil {
+		fail(err)
+	}
+	fmt.Println("== contention: order ==")
+	if err := o.WriteOrder(os.Stdout); err != nil {
 		fail(err)
 	}
 }

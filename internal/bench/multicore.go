@@ -16,14 +16,17 @@ import (
 )
 
 // The multicore scalability series (the `-series multicore` run):
-// throughput of three workloads at 1/2/4/8 cores under the contention-
-// aware big lock, the per-core page-frame caches, and work stealing.
-// The paper's Atmosphere deliberately ships a big-lock kernel (§3,
-// §7.2); this series shows exactly what that costs — IPC, which lives
-// entirely under the lock, stays flat, while allocation and the
-// kv-store, whose zeroing and user compute run outside the lock,
-// scale until the serialized remainder saturates (Amdahl's law on the
-// lock hold time).
+// throughput of three workloads at 1/2/4/8/16/32/64 cores under the
+// sharded lock frontiers (per-container and per-endpoint; see
+// docs/CONCURRENCY.md), the per-core page-frame caches, and work
+// stealing. The paper's Atmosphere deliberately ships a big-lock kernel
+// (§3, §7.2); this series shows what the sharded cost model buys back:
+// IPC, formerly pinned at 1.0x because every round trip serialized on
+// the one big-lock frontier, now runs each core's ping-pong in its own
+// container on its own endpoint and scales with core count, while
+// allocation and the kv-store scale until their serialized remainder
+// (big-lock refills, the shared run queues) saturates — Amdahl's law on
+// whatever the plans still share.
 //
 // Everything is a pure function of the cycle model and mcSeed: same
 // seed, same core count ⇒ the same trace, byte for byte, which
@@ -43,21 +46,32 @@ const (
 	mcAllocVAStep = 0x1000_0000 // per-core VA region stride
 )
 
-var mcCores = []int{1, 2, 4, 8}
+var mcCores = []int{1, 2, 4, 8, 16, 32, 64}
+
+// mcFrames sizes the machine for a core count: the legacy 16384-frame
+// shape up to 8 cores (keeping those reference rows bit-identical to
+// the pre-sharding series) and a larger bank beyond, where the alloc
+// workload alone needs mcAllocPages x cores user frames.
+func mcFrames(n int) int {
+	if n >= 16 {
+		return 32768
+	}
+	return 16384
+}
 
 // MulticoreScaling measures simulated throughput of the ipc, kvstore,
 // and alloc workloads across core counts.
 func MulticoreScaling() (Result, error) {
 	res := Result{
 		ID:    "multicore",
-		Title: "Multicore scalability under the contention-aware big lock (simulated)",
+		Title: "Multicore scalability under sharded lock frontiers (simulated)",
 		Notes: []string{
-			"ipc = call/reply ping-pong per core (fully lock-held: the big-lock ceiling)",
+			"ipc = call/reply ping-pong per core, each pair in its own container on its own endpoint (sharded frontiers)",
 			"kvstore = per-core table compute with periodic yields; alloc = 4 KiB mmap via per-core page caches",
 			"throughput = ops x 2.2 GHz / max per-core cycles; deterministic, seed " + fmt.Sprint(mcSeed),
 		},
 	}
-	type speedup struct{ one, four float64 }
+	type speedup struct{ one, four, sixteen float64 }
 	ups := map[string]*speedup{}
 	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
 		ups[wl] = &speedup{}
@@ -80,13 +94,16 @@ func MulticoreScaling() (Result, error) {
 				ups[wl].one = mops
 			case 4:
 				ups[wl].four = mops
+			case 16:
+				ups[wl].sixteen = mops
 			}
 		}
 	}
 	for _, wl := range []string{"ipc", "kvstore", "alloc"} {
 		if u := ups[wl]; u.one > 0 {
 			res.Notes = append(res.Notes,
-				fmt.Sprintf("%s 4-core speedup: %.2fx over 1 core", wl, u.four/u.one))
+				fmt.Sprintf("%s speedup over 1 core: %.2fx at 4, %.2fx at 16",
+					wl, u.four/u.one, u.sixteen/u.one))
 		}
 	}
 	return res, nil
@@ -118,17 +135,21 @@ func runMulticore(workload string, n int, seed uint64) (ops, wall uint64, err er
 // wall-clock cycles = max per-core cycle delta, total cycles across
 // cores).
 func runMulticoreN(workload string, n int, seed uint64, perCore int) (ops, wall, total uint64, err error) {
+	frames := mcFrames(n)
 	ipcRounds, kvRounds, allocPages := mcIPCRounds, mcKVRounds, mcAllocPages
 	if perCore > 0 {
 		ipcRounds = perCore
 		kvRounds = (perCore + 2*mcKVBatch - 1) / (2 * mcKVBatch)
 		allocPages = perCore
 		if allocPages > 1024 {
-			allocPages = 1024 // stay within the 16384-frame machine at 8 cores
+			allocPages = 1024 // stay within the machine's frame bank
+		}
+		if max := (frames - 4096) / n; allocPages > max {
+			allocPages = max
 		}
 	}
 
-	k, init, err := kernel.Boot(hw.Config{Frames: 16384, Cores: n, TLBSlots: 256})
+	k, init, err := kernel.Boot(hw.Config{Frames: frames, Cores: n, TLBSlots: 256})
 	if err != nil {
 		return 0, 0, 0, err
 	}
@@ -136,24 +157,34 @@ func runMulticoreN(workload string, n int, seed uint64, perCore int) (ops, wall,
 	k.EnableCoreCaches(mcBatch)
 	k.PM.EnableWorkStealing()
 
-	// One worker thread per core.
-	workers := make([]pm.Ptr, n)
-	for c := 0; c < n; c++ {
-		r := k.SysNewThread(0, init, c)
-		if r.Errno != kernel.OK {
-			return 0, 0, 0, fmt.Errorf("new_thread core %d: %v", c, r.Errno)
+	// One root-container worker thread per core (kvstore and alloc; the
+	// ipc workload builds its own per-core containers).
+	newWorkers := func() ([]pm.Ptr, error) {
+		workers := make([]pm.Ptr, n)
+		for c := 0; c < n; c++ {
+			r := k.SysNewThread(0, init, c)
+			if r.Errno != kernel.OK {
+				return nil, fmt.Errorf("new_thread core %d: %v", c, r.Errno)
+			}
+			workers[c] = pm.Ptr(r.Vals[0])
 		}
-		workers[c] = pm.Ptr(r.Vals[0])
+		return workers, nil
 	}
 
 	var run func() (uint64, error)
 	switch workload {
 	case "ipc":
-		run, err = mcSetupIPC(k, init, workers, seed, ipcRounds)
+		run, err = mcSetupIPC(k, init, seed, ipcRounds)
 	case "kvstore":
-		run, err = mcSetupKV(k, workers, seed, kvRounds)
+		var workers []pm.Ptr
+		if workers, err = newWorkers(); err == nil {
+			run, err = mcSetupKV(k, workers, seed, kvRounds)
+		}
 	case "alloc":
-		run, err = mcSetupAlloc(k, workers, allocPages)
+		var workers []pm.Ptr
+		if workers, err = newWorkers(); err == nil {
+			run, err = mcSetupAlloc(k, workers, allocPages)
+		}
 	default:
 		return 0, 0, 0, fmt.Errorf("unknown multicore workload %q", workload)
 	}
@@ -190,28 +221,42 @@ func alignCores(k *kernel.Kernel, n int) uint64 {
 	return mx
 }
 
-// mcSetupIPC builds a per-core call/reply ping-pong: each core gets a
-// client (the worker), a server thread, and a private endpoint, and one
-// operation is a full round trip. The entire round trip executes under
-// the big lock, so this workload cannot scale — it is the series'
-// control.
-func mcSetupIPC(k *kernel.Kernel, init pm.Ptr, workers []pm.Ptr, seed uint64, rounds int) (func() (uint64, error), error) {
-	n := len(workers)
+// mcSetupIPC builds the many-container ipc-parallel workload: each core
+// gets its own container (pinned to that cpu) holding a client thread,
+// a server thread, and a private endpoint; one operation is a full
+// call/reply round trip. Every round trip's lock plan resolves to that
+// core's container and endpoint frontiers alone, so distinct cores
+// share nothing and the workload scales with core count — the exact
+// traffic the old one-frontier model pinned at 1.0x.
+func mcSetupIPC(k *kernel.Kernel, init pm.Ptr, seed uint64, rounds int) (func() (uint64, error), error) {
+	n := k.Machine.NumCores()
+	clients := make([]pm.Ptr, n)
 	servers := make([]pm.Ptr, n)
 	for c := 0; c < n; c++ {
-		r := k.SysNewThread(0, init, c)
-		if r.Errno != kernel.OK {
-			return nil, fmt.Errorf("ipc server core %d: %v", c, r.Errno)
+		rc := k.SysNewContainer(0, init, 8, []int{c})
+		if rc.Errno != kernel.OK {
+			return nil, fmt.Errorf("ipc container core %d: %v", c, rc.Errno)
 		}
-		servers[c] = pm.Ptr(r.Vals[0])
-		re := k.SysNewEndpoint(0, init, c)
+		cntr := pm.Ptr(rc.Vals[0])
+		rp := k.SysNewProcessIn(0, init, cntr)
+		if rp.Errno != kernel.OK {
+			return nil, fmt.Errorf("ipc process core %d: %v", c, rp.Errno)
+		}
+		proc := pm.Ptr(rp.Vals[0])
+		for i, tp := range []*pm.Ptr{&clients[c], &servers[c]} {
+			r := k.SysNewThreadIn(0, init, proc, c)
+			if r.Errno != kernel.OK {
+				return nil, fmt.Errorf("ipc thread %d core %d: %v", i, c, r.Errno)
+			}
+			*tp = pm.Ptr(r.Vals[0])
+		}
+		re := k.SysNewEndpoint(c, clients[c], 0)
 		if re.Errno != kernel.OK {
 			return nil, fmt.Errorf("ipc endpoint core %d: %v", c, re.Errno)
 		}
 		ep := pm.Ptr(re.Vals[0])
-		k.PM.Thrd(workers[c]).Endpoints[0] = ep
 		k.PM.Thrd(servers[c]).Endpoints[0] = ep
-		k.PM.EndpointIncRef(ep, 2)
+		k.PM.EndpointIncRef(ep, 1)
 		if r := k.SysRecv(c, servers[c], 0, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {
 			return nil, fmt.Errorf("ipc park core %d: %v", c, r.Errno)
 		}
@@ -221,7 +266,7 @@ func mcSetupIPC(k *kernel.Kernel, init pm.Ptr, workers []pm.Ptr, seed uint64, ro
 		for i := 0; i < rounds; i++ {
 			for c := 0; c < n; c++ {
 				msg := mcMix(seed ^ uint64(i)<<8 ^ uint64(c))
-				if r := k.SysCall(c, workers[c], 0, kernel.SendArgs{Regs: [4]uint64{msg}}); r.Errno != kernel.EWOULDBLOCK {
+				if r := k.SysCall(c, clients[c], 0, kernel.SendArgs{Regs: [4]uint64{msg}}); r.Errno != kernel.EWOULDBLOCK {
 					return ops, fmt.Errorf("ipc call core %d round %d: %v", c, i, r.Errno)
 				}
 				if r := k.SysReplyRecv(c, servers[c], 0, kernel.SendArgs{}, kernel.RecvArgs{EdptSlot: -1}); r.Errno != kernel.EWOULDBLOCK {

@@ -28,6 +28,7 @@ const killUnitCost = hw.CostCacheTouch * 8
 // when the subtree is fully reclaimed, EAGAIN when work remains.
 func (k *Kernel) SysKillContainerBounded(core int, tid pm.Ptr, cntr pm.Ptr, budget int) Ret {
 	defer k.enter(core)()
+	defer k.gcShards() // objects reclaimed this installment lose their shards
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("kill_container_bounded", tid, fail(EINVAL))

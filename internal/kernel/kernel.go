@@ -92,14 +92,36 @@ type Kernel struct {
 	PM      *pm.ProcessManager
 	IOMMU   *iommu.IOMMU
 
-	// big lock: all syscalls and interrupts serialize (§3).
+	// big is the Go mutex guarding every kernel data structure: all
+	// syscalls and interrupts still serialize their real execution
+	// through it (§3). The *virtual* cost model is sharded (shard.go):
+	// big no longer stands for "one frontier".
 	big sync.Mutex
 
-	// lock is the deterministic contention model of the big lock: when
-	// enabled (EnableContention), each entry charges the invoking core
-	// the wait implied by concurrent holders' virtual clocks. Disabled
-	// (the default), only the uncontended CostBigLock is paid.
+	// lock is the deterministic contention model of the big lock —
+	// since the sharding refactor, only the frontier of *global*
+	// operations (lifecycle, IRQ, IOMMU, shared free-list access); each
+	// container and endpoint has its own frontier in cntrShards /
+	// edptShards. When enabled (EnableContention), each acquisition
+	// charges the invoking core the wait implied by concurrent holders'
+	// virtual clocks. Disabled (the default), only the uncontended
+	// CostBigLock is paid and every plan is free.
 	lock hw.LockSim
+
+	// Shard tables (shard.go): lazily created per-container and
+	// per-endpoint lock frontiers, the flat list in creation order (for
+	// enable/jitter/registration propagation), label sequence counters,
+	// the armed jitter parameters new shards inherit, the reusable
+	// held-frontier buffer of the funnel, and the test-only plan flip.
+	cntrShards map[pm.Ptr]*shard
+	edptShards map[pm.Ptr]*shard
+	shards     []*shard
+	cntrSeq    int
+	edptSeq    int
+	jitterSeed uint64
+	jitterMax  uint64
+	held       []frontier
+	planFlip   bool
 
 	// local accumulates, per syscall, the cycles spent on work that a
 	// real multicore kernel performs outside the big lock — per-core
@@ -136,15 +158,13 @@ type Kernel struct {
 
 	// cobs is the attached contention observatory (internal/obs/contend);
 	// nil unless AttachContention wired one in. bigID is the big lock's
-	// frontier registration; cSys/cCntr/cWait carry the in-flight entry's
-	// attribution (syscall name from post, container from callerThread,
-	// wait cycles from the contention model) until the leave closure
-	// bills them.
+	// frontier registration; cSys/cCntr carry the in-flight entry's
+	// attribution (syscall name from post, container from callerThread)
+	// until the leave closure bills each held frontier's wait.
 	cobs  *contend.Observatory
 	bigID contend.LockID
 	cSys  string
 	cCntr pm.Ptr
-	cWait uint64
 
 	// lcntr is the container the in-flight syscall's cycles are billed
 	// to: the caller's owning container, resolved by callerThread.
@@ -169,7 +189,13 @@ func Boot(cfg hw.Config) (*Kernel, pm.Ptr, error) {
 	machine := hw.NewMachine(cfg)
 	kclock := &hw.Clock{}
 	alloc := mem.NewAllocator(machine.Mem, kclock, 1)
-	k := &Kernel{Machine: machine, Alloc: alloc, kclock: kclock}
+	k := &Kernel{
+		Machine:    machine,
+		Alloc:      alloc,
+		kclock:     kclock,
+		cntrShards: make(map[pm.Ptr]*shard),
+		edptShards: make(map[pm.Ptr]*shard),
+	}
 	iom, err := iommu.New(alloc, kclock)
 	if err != nil {
 		return nil, 0, err
@@ -196,36 +222,83 @@ func Boot(cfg hw.Config) (*Kernel, pm.Ptr, error) {
 	return k, initThread, nil
 }
 
-// enter charges syscall entry, the slowpath dispatcher, and the big
-// lock; the returned leave function charges exit and attributes the
-// syscall's cycles to core.
+// enter charges syscall entry, the slowpath dispatcher, and the lock;
+// with no plan resolver the op is global and takes the big lock alone.
+// The returned leave function charges exit and attributes the syscall's
+// cycles to core.
 func (k *Kernel) enter(core int) (leave func()) {
-	return k.enterWith(core, hw.CostSyscallEntry+hw.CostSyscallDispatch+hw.CostBigLock)
+	return k.enterWith(core, hw.CostSyscallEntry+hw.CostSyscallDispatch+hw.CostBigLock, nil)
 }
 
-// enterFast is the IPC fastpath prologue: no dispatcher (arguments stay
-// in registers end to end, as in seL4's fastpath).
-func (k *Kernel) enterFast(core int) (leave func()) {
-	return k.enterWith(core, hw.CostSyscallEntry+hw.CostBigLock)
+// enterPlan is the slowpath prologue for sharded ops: resolve runs
+// under the Go mutex and names the frontiers this syscall holds.
+func (k *Kernel) enterPlan(core int, resolve func() lockPlan) (leave func()) {
+	return k.enterWith(core, hw.CostSyscallEntry+hw.CostSyscallDispatch+hw.CostBigLock, resolve)
 }
 
-func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
+// enterFastPlan is the IPC fastpath prologue: no dispatcher (arguments
+// stay in registers end to end, as in seL4's fastpath), sharded plan.
+func (k *Kernel) enterFastPlan(core int, resolve func() lockPlan) (leave func()) {
+	return k.enterWith(core, hw.CostSyscallEntry+hw.CostBigLock, resolve)
+}
+
+// enterWith is the syscall funnel. Under the Go mutex it resolves the
+// lock plan, materializes the planned frontiers in DAG order (big,
+// containers by address, endpoint; shard.go), and virtually acquires
+// them in sequence: each frontier's wait pushes the arrival the next
+// one sees, so a core queues behind every planned frontier exactly as a
+// real nested acquisition would. The summed wait is charged to the core
+// (one lock.wait span); entry cost is charged once, whatever the plan.
+// The leave closure releases every held frontier at the same
+// heldUntil — syscall end minus the core-local share — and attributes
+// each frontier's own wait, so independent containers' syscalls overlap
+// in virtual time while every plan containing only the big lock costs
+// exactly what the pre-sharding funnel cost.
+func (k *Kernel) enterWith(core int, entryCost uint64, resolve func() lockPlan) (leave func()) {
 	k.big.Lock()
 	cclk := &k.Machine.Core(core).Clock
-	// Contention: a core arriving while the (virtual) lock is held spins
-	// until the frontier — pure wait, charged to the core alone, visible
-	// as a lock.wait span. CostBigLock below stays the uncontended cost.
+	plan := planBig()
+	if resolve != nil {
+		plan = resolve()
+	}
+	held := k.held[:0]
+	if plan.big {
+		held = append(held, frontier{sim: &k.lock, id: k.bigID})
+	}
+	for i := 0; i < plan.ncntr; i++ {
+		s := k.cntrShard(plan.cntr[i])
+		held = append(held, frontier{sim: &s.sim, id: s.id})
+	}
+	if plan.edpt != pm.NoEndpoint {
+		s := k.edptShard(plan.edpt)
+		held = append(held, frontier{sim: &s.sim, id: s.id})
+	}
+	if k.planFlip {
+		for i, j := 0, len(held)-1; i < j; i, j = i+1, j-1 {
+			held[i], held[j] = held[j], held[i]
+		}
+	}
+	k.held = held // keep the buffer's capacity for the next entry
 	arrival := cclk.Cycles()
-	wait := k.lock.Acquire(arrival)
+	at := arrival
+	var wait uint64
+	for i := range held {
+		w := held[i].sim.Acquire(at)
+		held[i].wait = w
+		at += w
+		wait += w
+		if k.cobs != nil {
+			k.cobs.Acquired(core, held[i].id, "syscall")
+		}
+	}
 	if wait > 0 {
 		cclk.Charge(wait)
 		k.lockWait(core, arrival, wait)
 	}
 	if k.cobs != nil {
-		// Order check + held-stack push; the syscall name and container
-		// are unknown yet, so attribution waits for the leave closure.
-		k.cobs.Acquired(core, k.bigID, "syscall")
-		k.cSys, k.cCntr, k.cWait = "", 0, wait
+		// The syscall name and container are unknown yet, so
+		// attribution waits for the leave closure.
+		k.cSys, k.cCntr = "", 0
 	}
 	start := k.kclock.Cycles()
 	k.local = 0
@@ -248,42 +321,65 @@ func (k *Kernel) enterWith(core int, entryCost uint64) (leave func()) {
 			k.lcntr = 0
 		}
 		cclk.Charge(delta)
-		if k.cobs != nil {
-			k.cobs.AttributeWait(k.bigID, k.cSys, k.cCntr, core, k.cWait)
-			k.cobs.Released(core, k.bigID)
-		}
 		// The core-local share (page-cache hand-outs) does not extend
-		// the hold time other cores observe.
-		k.lock.Release(cclk.Cycles() - k.local)
+		// the hold time other cores observe. Every held frontier
+		// advances to the same release point: the op held them all.
+		heldUntil := cclk.Cycles() - k.local
+		for i := len(held) - 1; i >= 0; i-- {
+			if k.cobs != nil {
+				k.cobs.AttributeWait(held[i].id, k.cSys, k.cCntr, core, held[i].wait)
+				k.cobs.Released(core, held[i].id)
+			}
+			held[i].sim.Release(heldUntil)
+		}
 		k.big.Unlock()
 	}
 }
 
-// EnableContention turns on the deterministic big-lock contention model
-// (hw.LockSim). Meaningful only for workloads that drive cores in
-// lock-step from aligned clocks — the multicore scalability series;
-// legacy single-core benchmarks keep the uncontended model.
+// EnableContention turns on the deterministic contention model
+// (hw.LockSim) for every frontier: the big lock and all container and
+// endpoint shards, existing and future (armShard inherits the setting).
+// Meaningful only for workloads that drive cores in lock-step from
+// aligned clocks — the multicore scalability series; legacy single-core
+// benchmarks keep the uncontended model.
 func (k *Kernel) EnableContention() {
 	k.big.Lock()
 	defer k.big.Unlock()
 	k.lock.Enable()
+	for _, s := range k.shards {
+		s.sim.Enable()
+	}
 }
 
-// SetLockJitter arms seeded arrival jitter on the contention model
-// (hw.LockSim.SetJitter): each lock acquisition's virtual arrival time
-// is shifted by a deterministic pseudo-random delay in [0, max],
-// perturbing the hand-off order per seed. Schedule exploration uses it
-// to cover interleavings the FIFO arbiter alone never produces.
+// SetLockJitter arms seeded arrival jitter on every frontier
+// (hw.LockSim.SetJitter): each acquisition's virtual arrival time is
+// shifted by a deterministic pseudo-random delay in [0, max], perturbing
+// the hand-off order per seed. Each shard gets a decorrelated seed
+// (seed XOR its salt) so frontiers don't jitter in unison; shards
+// created later inherit the arming the same way. Schedule exploration
+// uses it to cover interleavings the FIFO arbiter alone never produces.
 func (k *Kernel) SetLockJitter(seed, max uint64) {
 	k.big.Lock()
 	defer k.big.Unlock()
+	k.jitterSeed, k.jitterMax = seed, max
 	k.lock.SetJitter(seed, max)
+	for _, s := range k.shards {
+		s.sim.SetJitter(seed^s.salt, max)
+	}
 }
 
 // LockStats reports the contention model's (acquisitions, contended
-// acquisitions, total wait cycles); zeros while disabled.
+// acquisitions, total wait cycles) summed over every frontier — the big
+// lock plus all container and endpoint shards; zeros while disabled.
 func (k *Kernel) LockStats() (acquisitions, contended, waitCycles uint64) {
-	return k.lock.Stats()
+	acquisitions, contended, waitCycles = k.lock.Stats()
+	for _, s := range k.shards {
+		a, c, w := s.sim.Stats()
+		acquisitions += a
+		contended += c
+		waitCycles += w
+	}
+	return acquisitions, contended, waitCycles
 }
 
 // EnableCoreCaches routes the hot 4 KiB user-page allocation path
@@ -369,9 +465,11 @@ func errnoOf(err error) Errno {
 	}
 }
 
-// SysYield rotates the caller's core to the next runnable thread.
+// SysYield rotates the caller's core to the next runnable thread. Its
+// lock plan is the caller's container frontier alone: a yield touches
+// only that container's run state.
 func (k *Kernel) SysYield(core int, tid pm.Ptr) Ret {
-	defer k.enter(core)()
+	defer k.enterPlan(core, func() lockPlan { return k.planCaller(tid) })()
 	if _, okk := k.callerThread(tid); !okk {
 		return k.post("yield", tid, fail(EINVAL))
 	}

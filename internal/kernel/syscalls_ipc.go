@@ -61,7 +61,8 @@ func (k *Kernel) SysNewEndpoint(core int, tid pm.Ptr, slot int) Ret {
 // blocked on the endpoint cannot be the caller (blocked threads cannot
 // issue syscalls), so the queue invariants are preserved.
 func (k *Kernel) SysCloseEndpoint(core int, tid pm.Ptr, slot int) Ret {
-	defer k.enter(core)()
+	defer k.enterPlan(core, func() lockPlan { return k.planCloseEndpoint(tid, slot) })()
+	defer k.gcShards() // runs before leave: drop the shard if the endpoint died
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("close_endpoint", tid, fail(EINVAL))
@@ -206,7 +207,7 @@ func firstFreeSlot(t *pm.Thread) int {
 // receiver is waiting it completes immediately; otherwise the caller
 // blocks (EWOULDBLOCK reports "blocked", completion arrives at wake).
 func (k *Kernel) SysSend(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
-	defer k.enter(core)()
+	defer k.enterPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("send", tid, fail(EINVAL))
@@ -245,7 +246,7 @@ func (k *Kernel) SysSend(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 // caller blocks and the message is delivered at wake via the thread's
 // IPC state.
 func (k *Kernel) SysRecv(core int, tid pm.Ptr, slot int, args RecvArgs) Ret {
-	defer k.enter(core)()
+	defer k.enterPlan(core, func() lockPlan { return k.planIPC(tid, slot, false) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("recv", tid, fail(EINVAL))
@@ -286,7 +287,7 @@ func (k *Kernel) SysRecv(core int, tid pm.Ptr, slot int, args RecvArgs) Ret {
 // caller waiting for the reply, and switches directly to the server —
 // one syscall, one direct handoff, no scheduler pass.
 func (k *Kernel) SysCall(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
-	defer k.enterFast(core)()
+	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("call", tid, fail(EINVAL))
@@ -327,7 +328,7 @@ func (k *Kernel) SysCall(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 // SysReply is the reply fastpath: it delivers to a client blocked
 // receiving on the endpoint and switches directly back to it.
 func (k *Kernel) SysReply(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
-	defer k.enterFast(core)()
+	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("reply", tid, fail(EINVAL))
@@ -362,7 +363,7 @@ func (k *Kernel) SysReply(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 // deliver the reply to the waiting client, switch to it if co-located,
 // and leave the server blocked receiving on the same endpoint.
 func (k *Kernel) SysReplyRecv(core int, tid pm.Ptr, slot int, args SendArgs, recv RecvArgs) Ret {
-	defer k.enterFast(core)()
+	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("reply_recv", tid, fail(EINVAL))

@@ -141,6 +141,7 @@ func (k *Kernel) controlsProcess(caller *pm.Process, callerPtr pm.Ptr, target *p
 // descriptors and its object page.
 func (k *Kernel) SysExitThread(core int, tid pm.Ptr) Ret {
 	defer k.enter(core)()
+	defer k.gcShards() // endpoints may die with their last descriptor
 	if _, okk := k.callerThread(tid); !okk {
 		return k.post("exit_thread", tid, fail(EINVAL))
 	}
@@ -157,6 +158,7 @@ func (k *Kernel) SysExitThread(core int, tid pm.Ptr) Ret {
 // address spaces, and IOMMU domains.
 func (k *Kernel) SysKillProcess(core int, tid pm.Ptr, proc pm.Ptr) Ret {
 	defer k.enter(core)()
+	defer k.gcShards() // endpoints may die with the process's descriptors
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("kill_proc", tid, fail(EINVAL))
@@ -237,6 +239,7 @@ func (k *Kernel) reapThread(th pm.Ptr) error {
 // the paper's terminate-and-harvest revocation model (§3).
 func (k *Kernel) SysKillContainer(core int, tid pm.Ptr, cntr pm.Ptr) Ret {
 	defer k.enter(core)()
+	defer k.gcShards() // the dying subtree's containers and endpoints
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("kill_container", tid, fail(EINVAL))

@@ -88,6 +88,9 @@ func runSchedule(seed uint64, rounds int, opt Options) (hashes []uint64, steals,
 	cobs := contend.New()
 	k.AttachContention(cobs)
 	k.ArmLockOrder()
+	if opt.Hook != nil {
+		opt.Hook(k)
+	}
 	k.PM.EnableWorkStealing()
 	k.PM.SetStealSeed(seed)
 

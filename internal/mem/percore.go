@@ -144,6 +144,12 @@ func (cc *CoreCaches) Pages() PageSet {
 // Len reports how many frames core currently holds cached.
 func (cc *CoreCaches) Len(core int) int { return len(cc.frames[core]) }
 
+// Batch reports the refill batch size; a cache drains back to it when
+// its depth exceeds twice the batch. The kernel's lock planner uses
+// both thresholds to predict whether an mmap/munmap can stay off the
+// shared free lists (and hence off the big lock).
+func (cc *CoreCaches) Batch() int { return cc.batch }
+
 // Stats reports (cache hits, misses, batch refills, drains) since
 // construction.
 func (cc *CoreCaches) Stats() (hits, misses, refills, drains uint64) {

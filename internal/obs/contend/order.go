@@ -83,12 +83,18 @@ func (d *Order) Rules() []string {
 
 // KernelOrder returns the kernel's declared lock ordering
 // (docs/CONCURRENCY.md "Lock ordering"): the big lock outermost, then
-// container frontiers, then endpoint frontiers. Today only "big"
-// exists; the container/endpoint classes pre-declare the sharding plan
-// so shard PRs arm the checker without touching this table.
+// container frontiers, then endpoint frontiers — the DAG the sharded
+// funnel acquires every lock plan in. The container self-edge permits
+// the one intra-class nesting the kernel performs: cross-container IPC
+// holds the two containers of a rendezvous at once, acquired in
+// ascending object address order (the plan builder sorts, so the
+// nesting is still a total order). Endpoints stay strictly innermost:
+// no endpoint -> container or endpoint -> big edge exists, which is
+// exactly what the planted-inversion tests drive against.
 func KernelOrder() *Order {
 	d := NewOrder()
 	d.Declare("big", "container")
+	d.Declare("container", "container")
 	d.Declare("container", "endpoint")
 	return d
 }

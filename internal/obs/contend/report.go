@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"atmosphere/internal/hw"
+	"atmosphere/internal/obs"
 )
 
 // The contention report: plain text, sorted within every section, so
@@ -48,6 +49,81 @@ func (o *Observatory) Summary() []LockSummary {
 		return out[i].Ident < out[j].Ident
 	})
 	return out
+}
+
+// ClassSummary is one row of the by-class rollup: every frontier of a
+// class (dozens of endpoints, one row) merged into aggregate counts and
+// a merged wait distribution.
+type ClassSummary struct {
+	Class        string
+	Locks        int // frontiers registered under the class
+	Acquisitions uint64
+	Contended    uint64
+	WaitCycles   uint64
+	MaxQueue     uint64 // deepest holder queue any instance saw
+	P50, P99     uint64 // quantiles over the merged wait histogram
+}
+
+// ByClass rolls the per-lock rows up into one row per class, sorted
+// most-contended first (wait cycles, then class name). The per-lock
+// wait histograms share bounds by construction, so the class quantiles
+// come from an exact merge, not an approximation over summaries.
+func (o *Observatory) ByClass() []ClassSummary {
+	if o == nil {
+		return nil
+	}
+	byClass := map[string]*ClassSummary{}
+	hists := map[string]*obs.Histogram{}
+	var order []string
+	for _, st := range o.locks {
+		cs, ok := byClass[st.class]
+		if !ok {
+			cs = &ClassSummary{Class: st.class}
+			byClass[st.class] = cs
+			hists[st.class] = obs.NewHistogram(nil)
+			order = append(order, st.class)
+		}
+		a, c, w := st.sim.Stats()
+		cs.Locks++
+		cs.Acquisitions += a
+		cs.Contended += c
+		cs.WaitCycles += w
+		if st.maxDepth > cs.MaxQueue {
+			cs.MaxQueue = st.maxDepth
+		}
+		// Identical bounds by construction; Merge cannot fail.
+		_ = hists[st.class].Merge(st.waitHist)
+	}
+	out := make([]ClassSummary, 0, len(order))
+	for _, class := range order {
+		cs := byClass[class]
+		cs.P50 = hists[class].Quantile(0.50)
+		cs.P99 = hists[class].Quantile(0.99)
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].WaitCycles != out[j].WaitCycles {
+			return out[i].WaitCycles > out[j].WaitCycles
+		}
+		return out[i].Class < out[j].Class
+	})
+	return out
+}
+
+// WriteLocksByClass writes the by-class rollup table — the view that
+// keeps a sharded kernel's report readable when dozens of per-endpoint
+// frontiers would otherwise flood the per-lock table.
+func (o *Observatory) WriteLocksByClass(w io.Writer) error {
+	if o == nil {
+		return nil
+	}
+	for _, c := range o.ByClass() {
+		if _, err := fmt.Fprintf(w, "class %s locks=%d acq=%d contended=%d waitcycles=%d maxqueue=%d p50=%d p99=%d\n",
+			c.Class, c.Locks, c.Acquisitions, c.Contended, c.WaitCycles, c.MaxQueue, c.P50, c.P99); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // WriteLocks writes the top-contended lock table.
