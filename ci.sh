@@ -23,16 +23,17 @@ go build ./...
 echo "== go test ./..."
 go test ./...
 
-echo "== go test -race (kernel/obs+contend/drivers/mem/pm/verify/cluster shard)"
+echo "== go test -race (kernel/obs+contend/drivers/mem/pm/verify/cluster/shmring shard)"
 # ./internal/obs/... includes the contention observatory
 # (internal/obs/contend) and the distributed tracer (internal/obs/dist).
 go test -race ./internal/kernel/... ./internal/obs/... ./internal/drivers/... \
     ./internal/mem/... ./internal/pm/... ./internal/verify/... \
-    ./internal/cluster/...
+    ./internal/cluster/... ./internal/shmring/...
 
 echo "== fuzz smoke (10s per target)"
 go test ./internal/mck/ -run '^$' -fuzz '^FuzzDiff$' -fuzztime 10s
 go test ./internal/mck/ -run '^$' -fuzz '^FuzzChecked$' -fuzztime 10s
+go test ./internal/mck/ -run '^$' -fuzz '^FuzzDiffBatch$' -fuzztime 10s
 
 echo "== docs relative-link check"
 # Every relative link in docs/*.md must resolve (fragment stripped);
@@ -121,6 +122,14 @@ if [ ! -s "$smoke_dir/BENCH_multicore.json" ]; then
     exit 1
 fi
 
+echo "== atmo-bench -series batch smoke"
+go run ./cmd/atmo-bench -series batch -json -outdir "$smoke_dir" \
+    -check bench_all_reference.txt
+if [ ! -s "$smoke_dir/BENCH_batch.json" ]; then
+    echo "atmo-bench: smoke run produced no BENCH_batch.json" >&2
+    exit 1
+fi
+
 echo "== atmo-bench -series cluster smoke"
 go run ./cmd/atmo-bench -series cluster -json -outdir "$smoke_dir" \
     -check bench_all_reference.txt
@@ -153,6 +162,20 @@ fi
 if ! grep -q "distributed trace attribution" "$smoke_dir/merged_a.txt"; then
     echo "atmo-trace: merged smoke printed no attribution report" >&2
     cat "$smoke_dir/merged_a.txt" >&2
+    exit 1
+fi
+
+echo "== atmo-trace -workload kvstore-batch smoke (byte determinism)"
+go run ./cmd/atmo-trace -workload kvstore-batch -cores 4 \
+    -o "$smoke_dir/kvb_a.json" > "$smoke_dir/kvb_a.txt"
+go run ./cmd/atmo-trace -workload kvstore-batch -cores 4 \
+    -o "$smoke_dir/kvb_b.json" > "$smoke_dir/kvb_b.txt"
+if [ ! -s "$smoke_dir/kvb_a.json" ]; then
+    echo "atmo-trace: kvstore-batch smoke produced an empty trace" >&2
+    exit 1
+fi
+if ! cmp -s "$smoke_dir/kvb_a.json" "$smoke_dir/kvb_b.json"; then
+    echo "atmo-trace: kvstore-batch trace is not byte-deterministic across same-seed runs" >&2
     exit 1
 fi
 

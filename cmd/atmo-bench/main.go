@@ -29,7 +29,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id (or comma list, or 'all')")
-	series := flag.String("series", "", "named experiment series (multicore, cluster, paper, all); overrides -experiment")
+	series := flag.String("series", "", "named experiment series (multicore, batch, cluster, paper, all); overrides -experiment")
 	list := flag.Bool("list", false, "list experiment ids")
 	traceOut := flag.String("trace", "", "write a Perfetto trace of the instrumented experiments to this path")
 	metricsOut := flag.String("metrics", "", "write a plain-text metrics dump to this path")
@@ -65,7 +65,7 @@ func main() {
 		var ok bool
 		run, ok = bench.Series(*series)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown series %q (multicore, cluster, paper, all)\n", *series)
+			fmt.Fprintf(os.Stderr, "unknown series %q (multicore, batch, cluster, paper, all)\n", *series)
 			os.Exit(2)
 		}
 	} else if *experiment == "all" {

@@ -11,6 +11,7 @@
 //	atmo-trace -workload chaos -seed 7 -o trace.json -metrics metrics.txt
 //	atmo-trace -workload ipc -ops 1000 -o trace.json
 //	atmo-trace -workload multicore -cores 4 -o trace.json
+//	atmo-trace -workload kvstore-batch -cores 4 -o trace.json
 //	atmo-trace -workload cluster -seed 1107 -o trace.json
 //	atmo-trace -workload cluster -merged -seed 1107 -o merged.json
 //	atmo-trace -workload multicore -cores 4 -contention -o trace.json
@@ -47,7 +48,7 @@ import (
 )
 
 func main() {
-	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, chaos, ipc, multicore, cluster")
+	workload := flag.String("workload", "kvstore", "workload to trace: kvstore, kvstore-batch, chaos, ipc, multicore, cluster")
 	seed := flag.Uint64("seed", 1, "workload seed")
 	ops := flag.Int("ops", 200, "operations (kv ops or ipc round trips; per-core for multicore)")
 	cores := flag.Int("cores", 4, "core count for the multicore workload")
@@ -63,7 +64,7 @@ func main() {
 		os.Exit(2)
 	}
 	if *contention && *workload == "cluster" {
-		fmt.Fprintln(os.Stderr, "atmo-trace: -contention covers the single-machine workloads (kvstore, chaos, ipc, multicore)")
+		fmt.Fprintln(os.Stderr, "atmo-trace: -contention covers the single-machine workloads (kvstore, kvstore-batch, chaos, ipc, multicore)")
 		os.Exit(2)
 	}
 
@@ -87,10 +88,12 @@ func main() {
 		totalCycles, err = runIPC(tracer, registry, cobs, *ops)
 	case "multicore":
 		totalCycles, err = runMulticore(tracer, registry, cobs, *cores, *seed, *ops)
+	case "kvstore-batch":
+		totalCycles, err = runKVBatch(tracer, registry, cobs, *cores, *seed, *ops)
 	case "cluster":
 		totalCycles, distCol, err = runCluster(tracer, registry, *seed, *merged)
 	default:
-		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, chaos, ipc, multicore, cluster)\n", *workload)
+		fmt.Fprintf(os.Stderr, "atmo-trace: unknown workload %q (kvstore, kvstore-batch, chaos, ipc, multicore, cluster)\n", *workload)
 		os.Exit(2)
 	}
 	if err != nil {
@@ -193,6 +196,23 @@ func runMulticore(t *obs.Tracer, m *obs.Registry, cobs *contend.Observatory, cor
 		total += tc
 	}
 	return total, nil
+}
+
+// runKVBatch traces the batched kv-rpc workload: per-core client/server
+// pairs moving request pages by grant through submission-ring
+// doorbells. The SysBatch spans wrap the per-op spans of everything a
+// doorbell drains, so the amortized trampoline is visible on the
+// timeline.
+func runKVBatch(t *obs.Tracer, m *obs.Registry, cobs *contend.Observatory, cores int, seed uint64, ops int) (uint64, error) {
+	if cobs != nil {
+		bench.SetContention(cobs)
+		defer bench.SetContention(nil)
+	}
+	_, _, tc, err := bench.RunKVRPC(true, cores, seed, ops, t, m, nil)
+	if err != nil {
+		return tc, fmt.Errorf("atmo-trace: kvstore-batch: %w", err)
+	}
+	return tc, nil
 }
 
 // runCluster traces the multi-machine chaos scenario: the bench

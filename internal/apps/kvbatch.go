@@ -1,0 +1,54 @@
+package apps
+
+import (
+	"encoding/binary"
+
+	"atmosphere/internal/hw"
+)
+
+// Packed single-word kv requests, the wire shape of the batched RPC
+// path (docs/BATCHING.md): one request is one 8-byte word, so 512 of
+// them fill a 4 KiB page that moves by grant instead of scalar-copy
+// IPC, and a reply overwrites its request word in place. Bit 0 selects
+// the op; the remaining bits are the key material. SETs derive their
+// 8-byte value from the key, which keeps the request self-contained —
+// exactly what a load generator replaying a key distribution produces.
+
+// PackKVReq packs one request word: set selects SET over GET, h is the
+// key material (bit 0 is reclaimed for the opcode).
+func PackKVReq(set bool, h uint64) uint64 {
+	req := h &^ 1
+	if set {
+		req |= 1
+	}
+	return req
+}
+
+// kvRegValue derives a SET's 8-byte value from its key word.
+func kvRegValue(key uint64) uint64 { return key ^ 0x9e3779b97f4a7c15 }
+
+// ServeReg serves one packed request against the store, charging the
+// same protocol overhead and probe costs as the framed path, and
+// returns the reply word: the stored value for a GET hit, 1 for a SET,
+// 0 for a miss or a full table. The store must be shaped 8/8
+// (key/value) for packed serving.
+func (s *KVStore) ServeReg(clk *hw.Clock, req uint64) uint64 {
+	if clk != nil {
+		clk.Charge(ServeCycles)
+	}
+	var key, val [8]byte
+	k := req &^ 1
+	binary.LittleEndian.PutUint64(key[:], k)
+	if req&1 == 1 {
+		binary.LittleEndian.PutUint64(val[:], kvRegValue(k))
+		if !s.Set(clk, key[:], val[:]) {
+			return 0
+		}
+		return 1
+	}
+	v, ok := s.Get(clk, key[:])
+	if !ok {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(v)
+}

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"testing"
+
+	"atmosphere/internal/obs"
+	"atmosphere/internal/obs/account"
+)
+
+// TestBatchingIsFree pins the two guarantees the batch series rides on:
+// the unbatched world is untouched — the Table 3 walls are bit-identical
+// to the pre-batching baseline — and the batched world is deterministic:
+// same seed, same cores, same Mops/s and the same per-core trace stream,
+// event for event.
+func TestBatchingIsFree(t *testing.T) {
+	SetObs(nil, nil)
+	SetLedger(nil)
+	defer func() {
+		SetObs(nil, nil)
+		SetLedger(nil)
+	}()
+
+	ipc, err := atmoCallReplyCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := atmoMapPageCycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ipc != baselineCallReply {
+		t.Errorf("batching PR moved call/reply: %v cycles, baseline %v", ipc, baselineCallReply)
+	}
+	if mp != baselineMapPage {
+		t.Errorf("batching PR moved map-a-page: %v cycles, baseline %v", mp, baselineMapPage)
+	}
+
+	for _, cores := range kvrCores {
+		type run struct {
+			ops, wall uint64
+			hashes    []uint64
+		}
+		do := func() run {
+			tr := obs.NewTracer(1 << 16)
+			ops, wall, _, err := RunKVRPC(true, cores, kvrSeed, 0,
+				tr, obs.NewRegistry(), account.NewLedger())
+			if err != nil {
+				t.Fatalf("%dc: %v", cores, err)
+			}
+			if tr.Len() == 0 {
+				t.Fatalf("%dc: tracer attached but recorded nothing", cores)
+			}
+			return run{ops, wall, perCoreTraceHashes(tr, cores)}
+		}
+		a, b := do(), do()
+		if a.ops != b.ops || a.wall != b.wall {
+			t.Errorf("%dc: batched run not deterministic: ops %d/%d wall %d/%d",
+				cores, a.ops, b.ops, a.wall, b.wall)
+		}
+		for c := 0; c < cores; c++ {
+			if a.hashes[c] != b.hashes[c] {
+				t.Errorf("%dc: core %d trace hash differs across same-seed runs: %#x vs %#x",
+					cores, c, a.hashes[c], b.hashes[c])
+			}
+		}
+	}
+}

@@ -87,14 +87,15 @@ func All() []Experiment {
 		{"ablation", AblationFlatVsRecursive},
 		{"degraded", DegradedNvmeThroughput},
 		{"multicore", MulticoreScaling},
+		{"batch", BatchThroughput},
 		{"cluster", ClusterChaos},
 	}
 }
 
 // Series groups experiments under a named series for `atmo-bench
-// -series`: "multicore" is the scalability series, "cluster" the
-// multi-machine chaos scenario, "paper" the evaluation tables and
-// figures, "all" everything.
+// -series`: "multicore" is the scalability series, "batch" the syscall
+// batching + zero-copy grant rows, "cluster" the multi-machine chaos
+// scenario, "paper" the evaluation tables and figures, "all" everything.
 func Series(name string) ([]Experiment, bool) {
 	switch name {
 	case "all":
@@ -102,13 +103,16 @@ func Series(name string) ([]Experiment, bool) {
 	case "multicore":
 		e, _ := ByID("multicore")
 		return []Experiment{e}, true
+	case "batch":
+		e, _ := ByID("batch")
+		return []Experiment{e}, true
 	case "cluster":
 		e, _ := ByID("cluster")
 		return []Experiment{e}, true
 	case "paper":
 		var out []Experiment
 		for _, e := range All() {
-			if e.ID != "multicore" && e.ID != "cluster" {
+			if e.ID != "multicore" && e.ID != "batch" && e.ID != "cluster" {
 				out = append(out, e)
 			}
 		}

@@ -6,7 +6,7 @@ import (
 )
 
 func TestRegistryComplete(t *testing.T) {
-	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "degraded", "multicore", "cluster"}
+	want := []string{"table1", "table2", "table3", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "ablation", "degraded", "multicore", "batch", "cluster"}
 	if len(All()) != len(want) {
 		t.Fatalf("%d experiments registered, want %d", len(All()), len(want))
 	}

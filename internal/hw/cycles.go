@@ -84,6 +84,15 @@ const (
 	// CostInterruptDispatch prices vectoring through the IDT into a
 	// handler (unused on polling paths, exercised by interrupt tests).
 	CostInterruptDispatch = 600
+	// CostBatchDispatch prices decoding and dispatching one submission
+	// entry inside a syscall batch: SQE load, opcode table lookup, and
+	// the per-op argument unpack. It replaces the per-op
+	// entry/dispatch/exit trampoline costs, which a batch pays once.
+	CostBatchDispatch = 40
+	// CostEndpointBuffer prices appending to or popping from an
+	// endpoint's bounded asynchronous message buffer: no partner wakeup,
+	// no scheduler work — just the queue store and bookkeeping.
+	CostEndpointBuffer = 80
 )
 
 // Clock accumulates simulated cycles for one core.

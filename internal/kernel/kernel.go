@@ -170,6 +170,19 @@ type Kernel struct {
 	// to: the caller's owning container, resolved by callerThread.
 	lcntr pm.Ptr
 
+	// batchCore marks cores currently draining a syscall batch
+	// (syscalls_batch.go). While set, the funnel suppresses the per-op
+	// entry/dispatch/exit trampoline: the batch paid entry once and pays
+	// exit once; each drained op pays only the SQE decode/dispatch and
+	// its own lock plan. Mutated and read only under big — a core is a
+	// single execution stream, so its own flag cannot race.
+	batchCore []bool
+
+	// grantLeak, when set by SetGrantLeakForTest, makes resolveMsg skip
+	// revoking the sender's mapping on a grant transfer — the planted
+	// double-grant bug the differential oracle must catch.
+	grantLeak bool
+
 	// Hooks let the verifier observe every transition (nil in
 	// benchmarks; charged nothing).
 	PostSyscall func(name string, caller pm.Ptr, ret Ret)
@@ -195,6 +208,7 @@ func Boot(cfg hw.Config) (*Kernel, pm.Ptr, error) {
 		kclock:     kclock,
 		cntrShards: make(map[pm.Ptr]*shard),
 		edptShards: make(map[pm.Ptr]*shard),
+		batchCore:  make([]bool, machine.NumCores()),
 	}
 	iom, err := iommu.New(alloc, kclock)
 	if err != nil {
@@ -210,6 +224,16 @@ func Boot(cfg hw.Config) (*Kernel, pm.Ptr, error) {
 		return nil, 0, err
 	}
 	k.PM = p
+	// An endpoint dying with buffered asynchronous messages (last
+	// descriptor closed, or dropped by a thread exit) must release the
+	// page references those messages hold — the manager frees the
+	// object, the kernel settles the allocator and the ledger.
+	p.OnEndpointFree = func(e *pm.Endpoint) {
+		for i := range e.Buffer {
+			k.dropMsg(&e.Buffer[i])
+		}
+		e.Buffer = nil
+	}
 	initProc, err := p.NewProcess(p.RootContainer, 0)
 	if err != nil {
 		return nil, 0, err
@@ -257,6 +281,15 @@ func (k *Kernel) enterFastPlan(core int, resolve func() lockPlan) (leave func())
 func (k *Kernel) enterWith(core int, entryCost uint64, resolve func() lockPlan) (leave func()) {
 	k.big.Lock()
 	cclk := &k.Machine.Core(core).Clock
+	exitCost := uint64(hw.CostSyscallExit)
+	if core >= 0 && core < len(k.batchCore) && k.batchCore[core] {
+		// Inside a batch drain the per-op trampoline is gone: the op
+		// pays the SQE decode/dispatch and its lock, nothing else; the
+		// batch itself paid entry once and pays exit once
+		// (syscalls_batch.go).
+		entryCost = hw.CostBatchDispatch + hw.CostBigLock
+		exitCost = 0
+	}
 	plan := planBig()
 	if resolve != nil {
 		plan = resolve()
@@ -307,7 +340,7 @@ func (k *Kernel) enterWith(core int, entryCost uint64, resolve func() lockPlan) 
 	}
 	k.kclock.Charge(entryCost)
 	return func() {
-		k.kclock.Charge(hw.CostSyscallExit)
+		k.kclock.Charge(exitCost)
 		delta := k.kclock.Cycles() - start
 		if k.obs != nil {
 			k.obs.leave(delta)
@@ -477,6 +510,17 @@ func (k *Kernel) SysYield(core int, tid pm.Ptr) Ret {
 	k.noteSwitch(false, tid)
 	k.PM.PickNext(core)
 	return k.post("yield", tid, ok())
+}
+
+// SetGrantLeakForTest plants the double-grant bug: resolveMsg skips
+// revoking the sender's mapping on a grant transfer, so sender and
+// receiver both end up owning the page — exactly the aliasing a
+// linear-ownership discipline forbids. The differential oracle must
+// catch the diverged address spaces and quota. Test harnesses only.
+func (k *Kernel) SetGrantLeakForTest(v bool) {
+	k.big.Lock()
+	defer k.big.Unlock()
+	k.grantLeak = v
 }
 
 // unblockForTest force-wakes a blocked thread, unlinking it from its

@@ -209,15 +209,26 @@ func (k *Kernel) planMunmap(core int, tid pm.Ptr, count int, size hw.PageSize) l
 // — the partner's container too (delivery charges the receiver, direct
 // switch touches the callee). The two container frontiers sort by
 // object address, the total order the container self-edge in
-// KernelOrder licenses. A page transfer in either direction adds the
-// big lock: mapping the page can materialize page-table frames from the
-// shared pool.
-func (k *Kernel) planIPC(tid pm.Ptr, slot int, sendPage bool) lockPlan {
+// KernelOrder licenses.
+//
+// A page transfer in either direction adds the big lock only when the
+// core has no page cache to draw from: the transferred frame itself
+// never touches the free lists (ownership moves sender -> in-flight ->
+// receiver without an alloc or a free), so only page-table node frames
+// the mapping side may materialize can reach the shared pool. With
+// per-core caches armed those ride the container frontiers, the same
+// documented simplification planMmap makes — which is what lets batched
+// grant traffic on disjoint containers scale across cores instead of
+// serializing every doorbell on the global frontier. In-flight quota
+// accounting rides the container frontiers already in the plan (the
+// charge moves between exactly those containers).
+func (k *Kernel) planIPC(core int, tid pm.Ptr, slot int, sendPage bool) lockPlan {
 	t, ok := k.PM.TryThrd(tid)
 	if !ok {
 		return planBig()
 	}
-	p := lockPlan{cntr: [2]pm.Ptr{t.OwningCntr}, ncntr: 1, big: sendPage}
+	pageBig := k.caches == nil || k.caches.Len(core) == 0
+	p := lockPlan{cntr: [2]pm.Ptr{t.OwningCntr}, ncntr: 1, big: sendPage && pageBig}
 	if slot < 0 || slot >= pm.MaxEndpoints || t.Endpoints[slot] == pm.NoEndpoint {
 		return p
 	}
@@ -227,6 +238,9 @@ func (k *Kernel) planIPC(tid pm.Ptr, slot int, sendPage bool) lockPlan {
 		return p
 	}
 	p.edpt = eptr
+	if len(ep.Buffer) > 0 && ep.Buffer[0].HasPage && pageBig {
+		p.big = true // buffered message carries a page a recv would map
+	}
 	if len(ep.Queue) > 0 {
 		if qt, ok := k.PM.TryThrd(ep.Queue[0]); ok {
 			if qt.OwningCntr != t.OwningCntr {
@@ -236,7 +250,7 @@ func (k *Kernel) planIPC(tid pm.Ptr, slot int, sendPage bool) lockPlan {
 					p.cntr[0], p.cntr[1] = p.cntr[1], p.cntr[0]
 				}
 			}
-			if !ep.QueuedRecv && qt.IPC.Msg.HasPage {
+			if !ep.QueuedRecv && qt.IPC.Msg.HasPage && pageBig {
 				p.big = true // queued sender carries a page for us
 			}
 		}

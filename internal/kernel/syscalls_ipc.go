@@ -18,6 +18,13 @@ type SendArgs struct {
 	// space (the receiver gains a mapping; the sender keeps its own).
 	SendPage bool
 	PageVA   hw.VirtAddr
+	// GrantPage moves the page mapped at PageVA out of the sender's
+	// address space entirely: the sender's mapping is revoked and its
+	// quota credited at send, the reference rides the ledger's InFlight
+	// container, and the receiver becomes the page's sole owner at
+	// delivery — zero-copy bulk transfer by linear ownership instead of
+	// scalar copy.
+	GrantPage bool
 	// SendEdpt shares the endpoint in the sender's descriptor slot
 	// EdptSlot.
 	SendEdpt bool
@@ -79,10 +86,14 @@ func (k *Kernel) SysCloseEndpoint(core int, tid pm.Ptr, slot int) Ret {
 }
 
 // resolveMsg validates and resolves SendArgs into a pm.Msg, taking a
-// reference on any transferred page so it survives until delivery.
-func (k *Kernel) resolveMsg(t *pm.Thread, args SendArgs) (pm.Msg, Errno) {
+// reference on any transferred page so it survives until delivery. A
+// grant additionally revokes the sender's own mapping: the message's
+// reference — parked on the ledger's InFlight container — becomes the
+// page's only tie to a container until delivery lands it on the
+// receiver.
+func (k *Kernel) resolveMsg(core int, t *pm.Thread, args SendArgs) (pm.Msg, Errno) {
 	msg := pm.Msg{Regs: args.Regs}
-	if args.SendPage {
+	if args.SendPage || args.GrantPage {
 		proc := k.PM.Proc(t.OwningProc)
 		e, covered := proc.PageTable.Lookup(args.PageVA)
 		if !covered {
@@ -96,6 +107,19 @@ func (k *Kernel) resolveMsg(t *pm.Thread, args SendArgs) (pm.Msg, Errno) {
 		msg.Page = e.Phys
 		msg.PageSize = e.Size
 		msg.PagePerm = e.Perm
+		if args.GrantPage && !k.grantLeak {
+			// Ownership moves with the message. The refcount cannot hit
+			// zero here: the message's reference was just taken above.
+			base := args.PageVA &^ hw.VirtAddr(e.Size.Bytes()-1)
+			if _, err := proc.PageTable.Unmap(base); err != nil {
+				panic(err) // looked up above; kernel invariant if it fires
+			}
+			if _, err := k.Alloc.DecRef(e.Phys); err != nil {
+				panic(err)
+			}
+			k.PM.CreditPages(proc.Owner, pagesIn4K(e.Size))
+			k.shootdown(core, proc.PageTable.CR3(), base, e.Size)
+		}
 	}
 	if args.SendEdpt {
 		if args.EdptSlot < 0 || args.EdptSlot >= pm.MaxEndpoints {
@@ -207,7 +231,7 @@ func firstFreeSlot(t *pm.Thread) int {
 // receiver is waiting it completes immediately; otherwise the caller
 // blocks (EWOULDBLOCK reports "blocked", completion arrives at wake).
 func (k *Kernel) SysSend(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
-	defer k.enterPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
+	defer k.enterPlan(core, func() lockPlan { return k.planIPC(core, tid, slot, args.SendPage || args.GrantPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("send", tid, fail(EINVAL))
@@ -216,7 +240,7 @@ func (k *Kernel) SysSend(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 		return k.post("send", tid, fail(EINVAL))
 	}
 	ep := k.PM.Edpt(t.Endpoints[slot])
-	msg, errno := k.resolveMsg(t, args)
+	msg, errno := k.resolveMsg(core, t, args)
 	if errno != OK {
 		return k.post("send", tid, fail(errno))
 	}
@@ -241,12 +265,56 @@ func (k *Kernel) SysSend(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 	return k.post("send", tid, fail(EWOULDBLOCK))
 }
 
+// SysSendAsync is the non-blocking send a batch drain relies on (a
+// blocking op would stall the rest of the ring). If a receiver is
+// parked the message is delivered as an ordinary rendezvous; otherwise
+// it is appended to the endpoint's bounded buffer and the caller keeps
+// running — EAGAIN when the buffer is full, refused *before* the
+// message resolves so even a grant leaves the sender untouched.
+// Endpoint transfers are rejected: a descriptor sitting in a buffer
+// would hold an unaccounted reference across the buffer's lifetime.
+func (k *Kernel) SysSendAsync(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
+	defer k.enterPlan(core, func() lockPlan { return k.planIPC(core, tid, slot, args.SendPage || args.GrantPage) })()
+	t, okk := k.callerThread(tid)
+	if !okk {
+		return k.post("send_async", tid, fail(EINVAL))
+	}
+	if slot < 0 || slot >= pm.MaxEndpoints || t.Endpoints[slot] == pm.NoEndpoint {
+		return k.post("send_async", tid, fail(EINVAL))
+	}
+	if args.SendEdpt {
+		return k.post("send_async", tid, fail(EINVAL))
+	}
+	ep := k.PM.Edpt(t.Endpoints[slot])
+	rendezvous := ep.QueuedRecv && len(ep.Queue) > 0
+	if !rendezvous && len(ep.Buffer) >= pm.MaxEndpointBuffer {
+		return k.post("send_async", tid, fail(EAGAIN))
+	}
+	msg, errno := k.resolveMsg(core, t, args)
+	if errno != OK {
+		return k.post("send_async", tid, fail(errno))
+	}
+	if rendezvous {
+		k.kclock.Charge(hw.CostEndpointOp)
+		rptr := ep.Queue[0]
+		ep.Queue = ep.Queue[1:]
+		rt := k.PM.Thrd(rptr)
+		err := k.deliver(rt, msg)
+		rt.IPC.WaitingOn = 0
+		k.PM.Wake(rptr, err)
+		return k.post("send_async", tid, ok())
+	}
+	k.kclock.Charge(hw.CostEndpointBuffer)
+	ep.Buffer = append(ep.Buffer, msg)
+	return k.post("send_async", tid, ok())
+}
+
 // SysRecv receives on the endpoint in the caller's descriptor slot. If a
 // sender is waiting its message is delivered immediately; otherwise the
 // caller blocks and the message is delivered at wake via the thread's
 // IPC state.
 func (k *Kernel) SysRecv(core int, tid pm.Ptr, slot int, args RecvArgs) Ret {
-	defer k.enterPlan(core, func() lockPlan { return k.planIPC(tid, slot, false) })()
+	defer k.enterPlan(core, func() lockPlan { return k.planIPC(core, tid, slot, false) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("recv", tid, fail(EINVAL))
@@ -258,6 +326,17 @@ func (k *Kernel) SysRecv(core int, tid pm.Ptr, slot int, args RecvArgs) Ret {
 	t.IPC.RecvVA = args.PageVA
 	t.IPC.RecvEdptSlot = args.EdptSlot
 	k.kclock.Charge(hw.CostEndpointOp)
+	if len(ep.Buffer) > 0 {
+		// Asynchronously buffered messages drain ahead of any blocked
+		// senders: no partner to wake, just the buffer pop.
+		msg := ep.Buffer[0]
+		ep.Buffer = ep.Buffer[1:]
+		k.kclock.Charge(hw.CostEndpointBuffer)
+		if err := k.deliver(t, msg); err != nil {
+			return k.post("recv", tid, fail(errnoOf(err)))
+		}
+		return k.post("recv", tid, ok(msg.Regs[0], msg.Regs[1], msg.Regs[2], msg.Regs[3]))
+	}
 	if !ep.QueuedRecv && len(ep.Queue) > 0 {
 		// Rendezvous: pop the sender, take its message, wake it.
 		sptr := ep.Queue[0]
@@ -287,7 +366,7 @@ func (k *Kernel) SysRecv(core int, tid pm.Ptr, slot int, args RecvArgs) Ret {
 // caller waiting for the reply, and switches directly to the server —
 // one syscall, one direct handoff, no scheduler pass.
 func (k *Kernel) SysCall(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
-	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
+	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(core, tid, slot, args.SendPage || args.GrantPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("call", tid, fail(EINVAL))
@@ -299,7 +378,7 @@ func (k *Kernel) SysCall(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 	if !ep.QueuedRecv || len(ep.Queue) == 0 {
 		return k.post("call", tid, fail(EWOULDBLOCK))
 	}
-	msg, errno := k.resolveMsg(t, args)
+	msg, errno := k.resolveMsg(core, t, args)
 	if errno != OK {
 		return k.post("call", tid, fail(errno))
 	}
@@ -328,7 +407,7 @@ func (k *Kernel) SysCall(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 // SysReply is the reply fastpath: it delivers to a client blocked
 // receiving on the endpoint and switches directly back to it.
 func (k *Kernel) SysReply(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
-	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
+	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(core, tid, slot, args.SendPage || args.GrantPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("reply", tid, fail(EINVAL))
@@ -340,7 +419,7 @@ func (k *Kernel) SysReply(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 	if !ep.QueuedRecv || len(ep.Queue) == 0 {
 		return k.post("reply", tid, fail(EWOULDBLOCK))
 	}
-	msg, errno := k.resolveMsg(t, args)
+	msg, errno := k.resolveMsg(core, t, args)
 	if errno != OK {
 		return k.post("reply", tid, fail(errno))
 	}
@@ -363,7 +442,7 @@ func (k *Kernel) SysReply(core int, tid pm.Ptr, slot int, args SendArgs) Ret {
 // deliver the reply to the waiting client, switch to it if co-located,
 // and leave the server blocked receiving on the same endpoint.
 func (k *Kernel) SysReplyRecv(core int, tid pm.Ptr, slot int, args SendArgs, recv RecvArgs) Ret {
-	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(tid, slot, args.SendPage) })()
+	defer k.enterFastPlan(core, func() lockPlan { return k.planIPC(core, tid, slot, args.SendPage || args.GrantPage) })()
 	t, okk := k.callerThread(tid)
 	if !okk {
 		return k.post("reply_recv", tid, fail(EINVAL))
@@ -374,7 +453,7 @@ func (k *Kernel) SysReplyRecv(core int, tid pm.Ptr, slot int, args SendArgs, rec
 	ep := k.PM.Edpt(t.Endpoints[slot])
 	// Reply half.
 	if ep.QueuedRecv && len(ep.Queue) > 0 {
-		msg, errno := k.resolveMsg(t, args)
+		msg, errno := k.resolveMsg(core, t, args)
 		if errno != OK {
 			return k.post("reply_recv", tid, fail(errno))
 		}
@@ -395,6 +474,16 @@ func (k *Kernel) SysReplyRecv(core int, tid pm.Ptr, slot int, args SendArgs, rec
 	// Receive half.
 	t.IPC.RecvVA = recv.PageVA
 	t.IPC.RecvEdptSlot = recv.EdptSlot
+	if len(ep.Buffer) > 0 {
+		// Buffered messages drain first, exactly as in SysRecv.
+		msg := ep.Buffer[0]
+		ep.Buffer = ep.Buffer[1:]
+		k.kclock.Charge(hw.CostEndpointBuffer)
+		if err := k.deliver(t, msg); err != nil {
+			return k.post("reply_recv", tid, fail(errnoOf(err)))
+		}
+		return k.post("reply_recv", tid, ok(msg.Regs[0], msg.Regs[1], msg.Regs[2], msg.Regs[3]))
+	}
 	if !ep.QueuedRecv && len(ep.Queue) > 0 {
 		// A sender is already queued: rendezvous inline.
 		sptr := ep.Queue[0]
@@ -458,6 +547,15 @@ func (k *Kernel) destroyEndpoint(eptr pm.Ptr, dying map[pm.Ptr]struct{}) {
 		// them momentarily.
 	}
 	e.Queue = nil
+	// Buffered asynchronous messages die with the endpoint: drop their
+	// page references (a granted page frees here — its sender mapping
+	// and quota were already settled at send). Buffered messages never
+	// carry endpoint descriptors (SysSendAsync refuses SendEdpt), so no
+	// buffer scrub is needed when *other* endpoints die.
+	for i := range e.Buffer {
+		k.dropMsg(&e.Buffer[i])
+	}
+	e.Buffer = nil
 	// Revoke every descriptor referencing the endpoint, and any IRQ
 	// bindings holding it (their lines go silent with the driver).
 	for _, t := range k.PM.ThrdPerms {

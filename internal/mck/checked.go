@@ -100,6 +100,58 @@ func dispatchChecked(c *verify.Checker, rc call) (kernel.Ret, error) {
 		return c.KillContainer(rc.core, rc.tid, rc.cntr)
 	case KIommuCreate:
 		return c.IommuCreateDomain(rc.core, rc.tid)
+	case KSendAsync:
+		args := kernel.SendArgs{Regs: [4]uint64{rc.reg}}
+		if rc.grantVA != 0 {
+			args.GrantPage, args.PageVA = true, rc.grantVA
+		}
+		return c.SendAsync(rc.core, rc.tid, rc.slot, args)
+	case KBatch:
+		return dispatchCheckedBatch(c, rc)
 	}
 	panic("mck: unhandled kind " + rc.kind.String())
+}
+
+// dispatchCheckedBatch runs a KBatch op's derived submissions as
+// individual checked syscalls: the checked oracle is per-transition
+// predicates, so the flattened sequence is exactly what it validates
+// (the ring framing itself is the differential runner's concern).
+func dispatchCheckedBatch(c *verify.Checker, rc call) (kernel.Ret, error) {
+	var last kernel.Ret
+	for _, b := range deriveBops(rc.seed) {
+		var err error
+		switch b.op {
+		case kernel.BopNop:
+			continue
+		case kernel.BopMmap:
+			last, err = c.Mmap(rc.core, rc.tid, hw.VirtAddr(b.args[0]), int(b.args[1]), hw.Size4K, pt.RW)
+		case kernel.BopMunmap:
+			last, err = c.Munmap(rc.core, rc.tid, hw.VirtAddr(b.args[0]), int(b.args[1]), hw.Size4K)
+		case kernel.BopSend:
+			last, err = c.Send(rc.core, rc.tid, int(b.args[0]), batchSendArgs(b))
+		case kernel.BopSendAsync:
+			last, err = c.SendAsync(rc.core, rc.tid, int(b.args[0]), batchSendArgs(b))
+		case kernel.BopCall:
+			last, err = c.Call(rc.core, rc.tid, int(b.args[0]), batchSendArgs(b))
+		case kernel.BopRecv:
+			last, err = c.Recv(rc.core, rc.tid, int(b.args[0]),
+				kernel.RecvArgs{PageVA: hw.VirtAddr(b.args[1]), EdptSlot: int(b.args[2]) - 1})
+		case kernel.BopYield:
+			last, err = c.Yield(rc.core, rc.tid)
+		}
+		if err != nil {
+			return last, err
+		}
+	}
+	return last, nil
+}
+
+// batchSendArgs decodes a derived send-family bop's arguments, mirroring
+// kernel.batchDispatch.
+func batchSendArgs(b bop) kernel.SendArgs {
+	args := kernel.SendArgs{Regs: [4]uint64{b.args[1], b.args[2]}}
+	if va := hw.VirtAddr(b.args[3]); va != 0 {
+		args.GrantPage, args.PageVA = true, va
+	}
+	return args
 }

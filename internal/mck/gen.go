@@ -33,6 +33,8 @@ var baseWeight = [numKinds]int{
 	KKillProcess:   2,
 	KKillContainer: 3,
 	KIommuCreate:   1,
+	KSendAsync:     4,
+	KBatch:         3,
 }
 
 // NewProfile draws a swarm profile: each kind is enabled with
@@ -95,6 +97,76 @@ func Generate(seed uint64, n int) Program {
 			A:     uint16(r.Uint64()),
 			B:     uint16(r.Uint64()),
 			C:     uint16(r.Uint64()),
+		}
+	}
+	return p
+}
+
+// batchProfile is the fixed op mix behind GenerateBatched: the batch
+// dialect. Everything that can ride a submission ring — or set up the
+// objects ring ops touch — is enabled, weighted heavily toward KBatch
+// doorbells and the grant-bearing sends; the teardown-only kinds stay
+// out so rings and endpoints live long enough to be exercised.
+func batchProfile() Profile {
+	var p Profile
+	for k, w := range map[Kind]int{
+		KMmap:          4,
+		KMunmap:        2,
+		KNewContainer:  2,
+		KNewProcessIn:  2,
+		KNewThreadIn:   3,
+		KExitThread:    1,
+		KNewEndpoint:   3,
+		KCloseEndpoint: 2,
+		KSend:          3,
+		KRecv:          4,
+		KCall:          2,
+		KYield:         1,
+		KSendAsync:     6,
+		KBatch:         8,
+	} {
+		p.Enabled[k] = true
+		p.Weights[k] = w
+	}
+	return p
+}
+
+// GenerateBatched builds a seeded n-op program from the batch dialect:
+// same resolver, same machine shape as Generate, but a fixed profile
+// dominated by KBatch and KSendAsync so submission rings, buffered
+// grants, and the amortized dispatch path carry most of the schedule.
+func GenerateBatched(seed uint64, n int) Program {
+	r := hw.NewRand(seed)
+	prof := batchProfile()
+	p := Program{Frames: DefaultFrames, Cores: DefaultCores}
+	p.Ops = make([]Op, n)
+	for i := range p.Ops {
+		p.Ops[i] = Op{
+			Kind:  prof.pick(r),
+			Actor: uint8(r.Uint64()),
+			A:     uint16(r.Uint64()),
+			B:     uint16(r.Uint64()),
+			C:     uint16(r.Uint64()),
+		}
+	}
+	return p
+}
+
+// FromBytesBatch decodes arbitrary bytes into a batch-dialect program:
+// total like FromBytes, then the kinds outside the batch vocabulary are
+// remapped deterministically onto the ring ops (by argument parity) so
+// engine mutations stay batch-heavy instead of drifting back into the
+// general mix. GenerateBatched output passes through unchanged.
+func FromBytesBatch(data []byte) Program {
+	p := FromBytes(data)
+	for i, op := range p.Ops {
+		switch op.Kind {
+		case KKillProcess, KKillContainer, KIommuCreate, KNewProcess:
+			if op.A&1 == 0 {
+				p.Ops[i].Kind = KBatch
+			} else {
+				p.Ops[i].Kind = KSendAsync
+			}
 		}
 	}
 	return p

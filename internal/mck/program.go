@@ -42,6 +42,8 @@ const (
 	KKillProcess
 	KKillContainer
 	KIommuCreate
+	KSendAsync
+	KBatch
 	numKinds
 )
 
@@ -49,7 +51,7 @@ var kindNames = [numKinds]string{
 	"mmap", "munmap", "new_container", "new_proc", "new_proc_in",
 	"new_thread_in", "exit_thread", "new_endpoint", "close_endpoint",
 	"send", "recv", "call", "yield", "kill_proc", "kill_container",
-	"iommu_create",
+	"iommu_create", "send_async", "batch",
 }
 
 func (k Kind) String() string {

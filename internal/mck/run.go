@@ -130,6 +130,8 @@ type call struct {
 	xferSlot int
 	reqSlot  int
 	reg      uint64
+	grantVA  hw.VirtAddr
+	seed     uint64
 }
 
 // mmapBase keeps generated mappings clear of any boot-time state.
@@ -195,6 +197,22 @@ func resolve(k *kernel.Kernel, regs *registries, op Op, cores int) (call, bool) 
 		} else {
 			c.reqSlot = int(code) - 1 // 16 probes delivery failure
 		}
+	case KSendAsync:
+		c.slot = int(op.A) % (pm.MaxEndpoints + 2)
+		c.reg = uint64(op.C)
+		if op.B != 0 {
+			// Grant the page at the op.B-coded va. Small op.B values
+			// land where small-op.A mmaps map, so mutated corpora hit
+			// real pages; misses probe ENOENT.
+			c.grantVA = mmapBase + hw.VirtAddr(op.B>>1)*hw.PageSize4K
+			if op.B&1 == 1 {
+				c.grantVA += hw.VirtAddr(op.C) & 0xFFF // sub-page probe: the kernel aligns down
+			}
+		}
+	case KBatch:
+		// The three fields seed a deterministic derived bop sequence
+		// (deriveBops); the batch itself runs via runBatch.
+		c.seed = uint64(op.A)<<32 | uint64(op.B)<<16 | uint64(op.C)
 	}
 	return c, true
 }
@@ -228,6 +246,12 @@ func dispatchKernel(k *kernel.Kernel, c call) kernel.Ret {
 	case KCall:
 		return k.SysCall(c.core, c.tid, c.slot,
 			kernel.SendArgs{Regs: [4]uint64{c.reg}, SendEdpt: c.sendEdpt, EdptSlot: c.xferSlot})
+	case KSendAsync:
+		args := kernel.SendArgs{Regs: [4]uint64{c.reg}}
+		if c.grantVA != 0 {
+			args.GrantPage, args.PageVA = true, c.grantVA
+		}
+		return k.SysSendAsync(c.core, c.tid, c.slot, args)
 	case KYield:
 		return k.SysYield(c.core, c.tid)
 	case KKillProcess:
@@ -263,11 +287,13 @@ func applyInterp(ip *spec.Interp, c call, ret kernel.Ret) error {
 	case KCloseEndpoint:
 		return ip.CloseEndpoint(c.tid, c.slot, ret)
 	case KSend:
-		return ip.Send(c.tid, c.slot, c.sendEdpt, c.xferSlot, ret)
+		return ip.Send(c.tid, c.slot, c.sendEdpt, c.xferSlot, c.grantVA, ret)
 	case KRecv:
-		return ip.Recv(c.tid, c.slot, c.reqSlot, ret)
+		return ip.Recv(c.tid, c.slot, c.reqSlot, 0, ret)
 	case KCall:
-		return ip.Call(c.tid, c.slot, c.sendEdpt, c.xferSlot, ret)
+		return ip.Call(c.tid, c.slot, c.sendEdpt, c.xferSlot, c.grantVA, ret)
+	case KSendAsync:
+		return ip.SendAsync(c.tid, c.slot, c.grantVA, ret)
 	case KYield:
 		return ip.Yield(c.tid, ret)
 	case KKillProcess:
@@ -313,10 +339,20 @@ func RunDiff(p Program, opt Options) (*DiffResult, Stats, error) {
 		if !ok {
 			continue // no thread left to issue calls
 		}
-		ret := dispatchKernel(k, c)
-		st.record(c.kind.String(), ret)
-		if err := applyInterp(ip, c, ret); err != nil {
-			return &DiffResult{Step: i, Op: op, Err: err}, st, nil
+		var ret kernel.Ret
+		if c.kind == KBatch {
+			var err error
+			ret, err = runBatch(k, ip, c)
+			st.record(c.kind.String(), ret)
+			if err != nil {
+				return &DiffResult{Step: i, Op: op, Err: err}, st, nil
+			}
+		} else {
+			ret = dispatchKernel(k, c)
+			st.record(c.kind.String(), ret)
+			if err := applyInterp(ip, c, ret); err != nil {
+				return &DiffResult{Step: i, Op: op, Err: err}, st, nil
+			}
 		}
 		if err := ip.Diff(spec.Abstract(k.PM, k.Alloc, k.IOMMU)); err != nil {
 			return &DiffResult{Step: i, Op: op, Err: err}, st, nil

@@ -32,6 +32,13 @@ type ProcessManager struct {
 	ThrdPerms map[Ptr]*Thread
 	EdptPerms map[Ptr]*Endpoint
 
+	// OnEndpointFree, when set, runs on an endpoint about to be destroyed
+	// by EndpointDecRef. The kernel installs it to release the page
+	// references of buffered asynchronous messages — references the
+	// manager cannot drop itself (they live in the allocator and the
+	// cycle ledger, above this package).
+	OnEndpointFree func(*Endpoint)
+
 	sched *Scheduler
 }
 
@@ -281,6 +288,9 @@ func (m *ProcessManager) EndpointDecRef(edpt Ptr) error {
 	}
 	if len(e.Queue) != 0 {
 		return fmt.Errorf("%w: endpoint %#x freed with %d queued threads", ErrBusy, edpt, len(e.Queue))
+	}
+	if m.OnEndpointFree != nil {
+		m.OnEndpointFree(e)
 	}
 	delete(m.EdptPerms, edpt)
 	m.freeObjectPage(e.OwnerCntr, edpt)

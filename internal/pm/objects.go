@@ -207,4 +207,13 @@ type Endpoint struct {
 	RefCount int
 	// OwnerCntr is the container charged for the endpoint's page.
 	OwnerCntr Ptr
+
+	// Buffer holds asynchronously sent messages (send_async) awaiting a
+	// receiver: bounded by MaxEndpointBuffer, drained by receives ahead
+	// of the blocked-sender queue, FIFO.
+	Buffer []Msg
 }
+
+// MaxEndpointBuffer bounds an endpoint's asynchronous message buffer;
+// send_async returns EAGAIN when it is full.
+const MaxEndpointBuffer = 64

@@ -1,6 +1,10 @@
 package shmring
 
-import "testing"
+import (
+	"testing"
+
+	"atmosphere/internal/hw"
+)
 
 // TestWrapAroundSoak drives the ring through many full revolutions with
 // an interleaved producer/consumer so every slot index is exercised in
@@ -144,6 +148,256 @@ func TestSingleSlotRing(t *testing.T) {
 		}
 		if _, err := c.Pop(); err != ErrEmpty {
 			t.Fatalf("double pop %d: %v", i, err)
+		}
+	}
+}
+
+// --- SQE framing hardening ------------------------------------------
+//
+// The tests below attack the submission framing the way a buggy or
+// hostile producer would: bad headers, frames rung in before they are
+// complete, doorbells with nothing behind them, and a producer that
+// scribbles the tail pointer past capacity. The consumer (the kernel)
+// must stay deterministic and never trust ring contents.
+
+// TestDecodeMalformedHeader: each malformed header variant — wrong
+// magic, nonzero reserved bits, over-limit continuation count — costs
+// exactly one consumed entry, and the next well-formed frame decodes
+// intact afterwards.
+func TestDecodeMalformedHeader(t *testing.T) {
+	bad := []struct {
+		name string
+		hdr  Entry
+	}{
+		{"wrong magic", Entry{W0: 0x00<<56 | 7<<48, W1: 1}},
+		{"reserved bits set", Entry{W0: uint64(FrameMagic)<<56 | 7<<48 | 0xBEEF, W1: 1}},
+		{"nextra over limit", Entry{W0: uint64(FrameMagic)<<56 | 7<<48 | uint64(MaxExtra+1)<<40, W1: 1}},
+	}
+	for _, tc := range bad {
+		p, c, _, _ := newRing(8)
+		if err := p.Push(tc.hdr); err != nil {
+			t.Fatalf("%s: push: %v", tc.name, err)
+		}
+		if err := EncodeSQE(p, 9, 0, 42, 11, 22, 33); err != nil {
+			t.Fatalf("%s: encode follower: %v", tc.name, err)
+		}
+		if _, err := DecodeSQE(c); err != ErrMalformed {
+			t.Fatalf("%s: decode = %v, want ErrMalformed", tc.name, err)
+		}
+		s, err := DecodeSQE(c)
+		if err != nil || s.Op != 9 || s.Token != 42 || s.Args[0] != 11 || s.Args[2] != 33 {
+			t.Fatalf("%s: follower after malformed: %+v %v", tc.name, s, err)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("%s: %d entries left over", tc.name, c.Len())
+		}
+	}
+}
+
+// TestDecodeTruncatedFrame: a header promising continuation entries
+// that have not been queued yet decodes as ErrTruncated with nothing
+// consumed — the frame stays intact for the next doorbell, which sees
+// it whole once the producer finishes.
+func TestDecodeTruncatedFrame(t *testing.T) {
+	p, c, _, _ := newRing(8)
+	hdr := Entry{W0: uint64(FrameMagic)<<56 | 5<<48 | 2<<40 | uint64(77)<<16, W1: 100}
+	if err := p.Push(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Push(Entry{W0: 101, W1: 102}); err != nil { // 1 of 2 continuations
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ { // truncation is stable, not consuming
+		if _, err := DecodeSQE(c); err != ErrTruncated {
+			t.Fatalf("round %d: decode = %v, want ErrTruncated", round, err)
+		}
+		if c.Len() != 2 {
+			t.Fatalf("round %d: truncated decode consumed entries (len %d)", round, c.Len())
+		}
+	}
+	if err := p.Push(Entry{W0: 103, W1: 104}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := DecodeSQE(c)
+	if err != nil || s.Op != 5 || s.Token != 77 || s.NArgs != 5 {
+		t.Fatalf("completed frame: %+v %v", s, err)
+	}
+	for i, want := range []uint64{100, 101, 102, 103, 104} {
+		if s.Args[i] != want {
+			t.Fatalf("arg %d = %d, want %d", i, s.Args[i], want)
+		}
+	}
+}
+
+// TestStaleDoorbell: a doorbell with an empty submission queue is a
+// no-op — ErrEmpty, nothing consumed, and the ring still works for the
+// next real submission. Rung twice for the pure-stale case, then once
+// more after a frame lands.
+func TestStaleDoorbell(t *testing.T) {
+	p, c, _, _ := newRing(4)
+	for i := 0; i < 2; i++ {
+		if _, err := DecodeSQE(c); err != ErrEmpty {
+			t.Fatalf("stale doorbell %d: %v, want ErrEmpty", i, err)
+		}
+	}
+	if err := EncodeSQE(p, 1, 0, 5, 9); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := DecodeSQE(c); err != nil || s.Op != 1 || s.Args[0] != 9 {
+		t.Fatalf("frame after stale doorbells: %+v %v", s, err)
+	}
+}
+
+// TestProducerOverrun: a misbehaving producer scribbles the shared tail
+// pointer far past capacity. The consumer must not panic, must not
+// fabricate well-formed submissions out of stale slot bytes, and must
+// reach a drained state in bounded steps (every bogus entry costs at
+// most one consume).
+func TestProducerOverrun(t *testing.T) {
+	const slots = 6
+	mem := hw.NewPhysMem(2)
+	var pclk, cclk hw.Clock
+	base := hw.PhysAddr(hw.PageSize4K)
+	p := New(mem, &pclk, base, slots)
+	c := New(mem, &cclk, base, slots)
+	_ = p
+	// Overrun: tail jumps 2*slots+3 entries ahead of head with no data
+	// ever written to the slots.
+	mem.WriteU64(base+8, uint64(2*slots+3)) // tailOff
+	if got := c.Len(); got != 2*slots+3 {
+		t.Fatalf("overrun len = %d", got)
+	}
+	steps := 0
+	for c.Len() > 0 {
+		_, err := DecodeSQE(c)
+		if err == nil {
+			t.Fatal("decoded a well-formed SQE from an overrun ring")
+		}
+		if err != ErrMalformed {
+			t.Fatalf("overrun decode: %v", err)
+		}
+		if steps++; steps > 3*slots+3 {
+			t.Fatal("overrun drain did not terminate in bounded steps")
+		}
+	}
+	// The ring is usable again once head has caught the bogus tail.
+	if err := EncodeSQE(c, 3, 0, 1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if s, err := DecodeSQE(c); err != nil || s.Op != 3 || s.Args[0] != 7 {
+		t.Fatalf("post-overrun frame: %+v %v", s, err)
+	}
+}
+
+// TestWraparoundPartialBatch: multi-entry frames that straddle the
+// physical end of the slot array, including one rung in while split —
+// header before the wrap, continuations after — must decode with
+// arguments in order once complete.
+func TestWraparoundPartialBatch(t *testing.T) {
+	const slots = 8
+	p, c, _, _ := newRing(slots)
+	// Phase the ring so the next frame starts 2 slots before the end.
+	for i := 0; i < slots-2; i++ {
+		if err := p.Push(Entry{W0: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf [slots]Entry
+	if n := c.PopBatch(buf[:slots-2]); n != slots-2 {
+		t.Fatalf("phasing drain: %d", n)
+	}
+	// A 3-entry frame (header + 2 continuations) now wraps. Push the
+	// header and first continuation only, ring the doorbell mid-frame.
+	hdr := Entry{W0: uint64(FrameMagic)<<56 | 8<<48 | 2<<40 | uint64(9)<<16, W1: 1}
+	if err := p.Push(hdr); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Push(Entry{W0: 2, W1: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSQE(c); err != ErrTruncated {
+		t.Fatalf("mid-frame doorbell across wrap: %v, want ErrTruncated", err)
+	}
+	if err := p.Push(Entry{W0: 4, W1: 5}); err != nil { // lands past the wrap
+		t.Fatal(err)
+	}
+	s, err := DecodeSQE(c)
+	if err != nil || s.Op != 8 || s.Token != 9 || s.NArgs != 5 {
+		t.Fatalf("wrapped frame: %+v %v", s, err)
+	}
+	for i, want := range []uint64{1, 2, 3, 4, 5} {
+		if s.Args[i] != want {
+			t.Fatalf("wrapped arg %d = %d, want %d", i, s.Args[i], want)
+		}
+	}
+	if c.Len() != 0 {
+		t.Fatalf("%d entries left after wrapped frame", c.Len())
+	}
+}
+
+// TestFramingDeterminismSoak: the framing layer is part of the
+// simulator's deterministic surface — same seed, same interleaving of
+// encodes, doorbells, and completions must yield bit-identical decode
+// streams AND identical cycle charges on both sides. Two independent
+// runs per seed are compared field by field.
+func TestFramingDeterminismSoak(t *testing.T) {
+	type event struct {
+		op, errno uint8
+		token     uint16
+		arg0      uint64
+		err       string
+	}
+	run := func(seed uint64) ([]event, uint64, uint64) {
+		r := hw.NewRand(seed)
+		p, c, pclk, cclk := newRing(11)
+		cqp, cqc, _, _ := newRing(5)
+		var events []event
+		next := uint16(0)
+		for step := 0; step < 4000; step++ {
+			switch r.Intn(4) {
+			case 0, 1: // submit a frame with 0..6 args
+				nargs := r.Intn(MaxSQEArgs)
+				args := make([]uint64, nargs)
+				for i := range args {
+					args[i] = r.Uint64()
+				}
+				err := EncodeSQE(p, uint8(r.Intn(16)), 0, next, args...)
+				if err == nil {
+					next++
+				}
+			case 2: // doorbell: drain one frame
+				s, err := DecodeSQE(c)
+				ev := event{op: s.Op, token: s.Token, arg0: s.Args[0]}
+				if err != nil {
+					ev.err = err.Error()
+				}
+				events = append(events, ev)
+			case 3: // completion round-trip on the dedicated CQ ring
+				cq := CQE{Op: uint8(r.Intn(16)), Errno: uint8(r.Intn(8)), Token: next, Val: r.Uint64()}
+				if PushCQE(cqp, cq) == nil {
+					got, err := PopCQE(cqc)
+					if err != nil || got != cq {
+						t.Fatalf("seed %d step %d: CQE round-trip %+v -> %+v %v", seed, step, cq, got, err)
+					}
+					events = append(events, event{op: got.Op, errno: got.Errno, token: got.Token, arg0: got.Val})
+				}
+			}
+		}
+		return events, pclk.Cycles(), cclk.Cycles()
+	}
+	for seed := uint64(1); seed <= 4; seed++ {
+		e1, p1, c1 := run(seed)
+		e2, p2, c2 := run(seed)
+		if len(e1) != len(e2) {
+			t.Fatalf("seed %d: %d vs %d events", seed, len(e1), len(e2))
+		}
+		for i := range e1 {
+			if e1[i] != e2[i] {
+				t.Fatalf("seed %d: event %d diverged: %+v vs %+v", seed, i, e1[i], e2[i])
+			}
+		}
+		if p1 != p2 || c1 != c2 {
+			t.Fatalf("seed %d: cycle divergence producer %d/%d consumer %d/%d", seed, p1, p2, c1, c2)
 		}
 	}
 }

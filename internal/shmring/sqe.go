@@ -1,0 +1,196 @@
+package shmring
+
+import (
+	"errors"
+
+	"atmosphere/internal/hw"
+)
+
+// Submission/completion framing for syscall batching (io_uring-style,
+// ROADMAP item 3). A submission queue entry (SQE) occupies one header
+// ring entry plus zero or more continuation entries carrying extra
+// arguments; a completion queue entry (CQE) is always a single ring
+// entry. Both queues are ordinary Rings over shared pages, so the
+// framing inherits the ring's wraparound, fullness, and cycle-charging
+// behaviour.
+//
+// Header entry layout (W0, most significant byte first):
+//
+//	bits 56..63  magic (0xA7)
+//	bits 48..55  opcode
+//	bits 40..47  nextra: continuation entries following the header
+//	bits 32..39  flags
+//	bits 16..31  token (echoed in the CQE so callers match results)
+//	bits  0..15  reserved, must be zero
+//
+// W1 carries the first argument; each continuation entry carries two
+// further arguments (W0 then W1). A CQE reuses the header layout with
+// the errno in place of nextra/flags and W1 carrying the result value.
+const (
+	// FrameMagic marks a well-formed SQE header or CQE.
+	FrameMagic = 0xA7
+	// MaxExtra bounds the continuation entries per SQE.
+	MaxExtra = 3
+	// MaxSQEArgs is the argument capacity of one framed submission:
+	// one in the header plus two per continuation entry.
+	MaxSQEArgs = 1 + 2*MaxExtra
+)
+
+// Framing errors.
+var (
+	// ErrMalformed reports a header entry with a bad magic byte, an
+	// over-limit continuation count, or nonzero reserved bits. The bad
+	// header is consumed so the producer's next frame can be reached.
+	ErrMalformed = errors.New("shmring: malformed SQE header")
+	// ErrTruncated reports a header whose continuation entries have not
+	// all been queued yet. Nothing is consumed: the frame stays intact
+	// for a later doorbell.
+	ErrTruncated = errors.New("shmring: truncated SQE frame")
+)
+
+// SQE is one decoded submission.
+type SQE struct {
+	Op    uint8
+	Flags uint8
+	Token uint16
+	Args  [MaxSQEArgs]uint64
+	NArgs int
+}
+
+// CQE is one completion: the submission's opcode and token, the
+// kernel's errno for the op, and the primary result value.
+type CQE struct {
+	Op    uint8
+	Errno uint8
+	Token uint16
+	Val   uint64
+}
+
+// EntriesFor returns how many ring entries a submission with nargs
+// arguments occupies (header + continuations).
+func EntriesFor(nargs int) int {
+	if nargs <= 1 {
+		return 1
+	}
+	return 1 + (nargs-1+1)/2
+}
+
+// EncodeSQE frames one submission onto the ring, all-or-nothing: if the
+// header and every continuation entry do not all fit, nothing is pushed
+// and ErrFull is returned. Arguments beyond MaxSQEArgs are rejected as
+// ErrMalformed without touching the ring.
+func EncodeSQE(r *Ring, op, flags uint8, token uint16, args ...uint64) error {
+	if len(args) > MaxSQEArgs {
+		return ErrMalformed
+	}
+	need := EntriesFor(len(args))
+	if r.Cap()-r.Len() < need {
+		return ErrFull
+	}
+	nextra := need - 1
+	var a0 uint64
+	if len(args) > 0 {
+		a0 = args[0]
+	}
+	hdr := Entry{
+		W0: uint64(FrameMagic)<<56 | uint64(op)<<48 | uint64(nextra)<<40 |
+			uint64(flags)<<32 | uint64(token)<<16,
+		W1: a0,
+	}
+	if err := r.Push(hdr); err != nil {
+		return err
+	}
+	for i := 0; i < nextra; i++ {
+		var e Entry
+		e.W0 = args[1+2*i]
+		if 2+2*i < len(args) {
+			e.W1 = args[2+2*i]
+		}
+		if err := r.Push(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DecodeSQE consumes one framed submission from the ring. ErrEmpty
+// means no header is queued (a stale doorbell). ErrMalformed consumes
+// exactly the offending header entry. ErrTruncated consumes nothing.
+func DecodeSQE(r *Ring) (SQE, error) {
+	if r.Len() == 0 {
+		return SQE{}, ErrEmpty
+	}
+	hdr := r.peekAt(0)
+	if hdr.W0>>56 != FrameMagic || hdr.W0&0xffff != 0 {
+		r.advance(1)
+		return SQE{}, ErrMalformed
+	}
+	nextra := int(hdr.W0 >> 40 & 0xff)
+	if nextra > MaxExtra {
+		r.advance(1)
+		return SQE{}, ErrMalformed
+	}
+	if r.Len() < 1+nextra {
+		return SQE{}, ErrTruncated
+	}
+	s := SQE{
+		Op:    uint8(hdr.W0 >> 48),
+		Flags: uint8(hdr.W0 >> 32),
+		Token: uint16(hdr.W0 >> 16),
+		NArgs: 1 + 2*nextra,
+	}
+	s.Args[0] = hdr.W1
+	for i := 0; i < nextra; i++ {
+		e := r.peekAt(1 + i)
+		s.Args[1+2*i] = e.W0
+		s.Args[2+2*i] = e.W1
+	}
+	r.advance(1 + nextra)
+	return s, nil
+}
+
+// EncodeCQE packs one completion into a single ring entry.
+func EncodeCQE(c CQE) Entry {
+	return Entry{
+		W0: uint64(FrameMagic)<<56 | uint64(c.Op)<<48 | uint64(c.Errno)<<40 |
+			uint64(c.Token)<<16,
+		W1: c.Val,
+	}
+}
+
+// PushCQE posts one completion (kernel side).
+func PushCQE(r *Ring, c CQE) error { return r.Push(EncodeCQE(c)) }
+
+// PopCQE consumes one completion (application side). A non-CQE entry
+// is consumed and reported as ErrMalformed.
+func PopCQE(r *Ring) (CQE, error) {
+	e, err := r.Pop()
+	if err != nil {
+		return CQE{}, err
+	}
+	if e.W0>>56 != FrameMagic {
+		return CQE{}, ErrMalformed
+	}
+	return CQE{
+		Op:    uint8(e.W0 >> 48),
+		Errno: uint8(e.W0 >> 40),
+		Token: uint16(e.W0 >> 16),
+		Val:   e.W1,
+	}, nil
+}
+
+// peekAt reads the i-th queued entry without consuming it, charging
+// the same cache traffic as a pop would for that entry.
+func (r *Ring) peekAt(i int) Entry {
+	head := r.head()
+	slot := r.base + hw.PhysAddr(slotsOff+int((head+uint64(i))%uint64(r.slots))*slotSize)
+	e := Entry{W0: r.mem.ReadU64(slot), W1: r.mem.ReadU64(slot + 8)}
+	r.clock.Charge(2 * hw.CostCacheTouch)
+	return e
+}
+
+// advance consumes n queued entries without reading them again.
+func (r *Ring) advance(n int) {
+	r.mem.WriteU64(r.base+headOff, r.head()+uint64(n))
+	r.clock.Charge(2 * hw.CostCacheTouch)
+}

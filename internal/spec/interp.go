@@ -17,8 +17,10 @@ package spec
 // roll back to the specified prune transition for mmap).
 //
 // Scope: the interpreter covers the op set the program generator emits.
-// Page transfers over IPC (SendArgs.SendPage) and IOMMU map/unmap are not
-// modeled — the generator never produces them.
+// Page grants over IPC (SendArgs.GrantPage, 4 KiB) are modeled — the
+// page leaves the sender's space at send and lands in the receiver's at
+// delivery. Shared page transfers (SendArgs.SendPage) and IOMMU
+// map/unmap are not — the generator never produces them.
 
 import (
 	"fmt"
@@ -52,6 +54,16 @@ type Interp struct {
 	// pending message transfers (0: scalars only) — the abstract image of
 	// Thread.IPC.Msg.Endpoint.
 	sendEdpt map[Ptr]Ptr
+
+	// sendPage records, for a thread blocked sending, the granted page
+	// riding its pending message — the abstract image of
+	// Thread.IPC.Msg's page half (grants only; shares are unmodeled).
+	sendPage map[Ptr]BufMsg
+
+	// recvVA records, for a thread blocked receiving, where it asked an
+	// incoming page to be mapped — the abstract image of
+	// Thread.IPC.RecvVA.
+	recvVA map[Ptr]hw.VirtAddr
 }
 
 // NewInterp builds an interpreter from a boot-time abstract state: no
@@ -64,6 +76,8 @@ func NewInterp(st State) *Interp {
 		keys:     make(map[Ptr]map[uint64]bool, len(st.Procs)),
 		recvSlot: make(map[Ptr]int),
 		sendEdpt: make(map[Ptr]Ptr),
+		sendPage: make(map[Ptr]BufMsg),
+		recvVA:   make(map[Ptr]hw.VirtAddr),
 	}
 	ip.St.Mem = mem.Snapshot{}
 	for proc, as := range st.AddressSpaces {
@@ -565,6 +579,8 @@ func (ip *Interp) freeThread(th Ptr) {
 	ip.credit(t.OwningCntr, 1)
 	delete(ip.recvSlot, th)
 	delete(ip.sendEdpt, th)
+	delete(ip.sendPage, th)
+	delete(ip.recvVA, th)
 }
 
 // --- endpoints and IPC ------------------------------------------------------
@@ -638,6 +654,76 @@ func (ip *Interp) CloseEndpoint(tid Ptr, slot int, ret kernel.Ret) error {
 	return nil
 }
 
+// resolveGrant mirrors the grant half of kernel.resolveMsg for the
+// 4 KiB mappings generated programs grant: the page leaves the sender's
+// address space and its quota at send time; the reference riding the
+// ledger's InFlight container is below the abstraction line.
+func (ip *Interp) resolveGrant(op string, proc Ptr, va hw.VirtAddr, ret kernel.Ret) (BufMsg, error, bool) {
+	as := ip.St.AddressSpaces[proc]
+	base := va &^ (hw.PageSize4K - 1)
+	e, ok := as[base]
+	if !ok || e.Size != hw.Size4K {
+		return BufMsg{}, expect(op, kernel.ENOENT, ret), false
+	}
+	delete(as, base)
+	ip.credit(ip.St.Procs[proc].Owner, 1)
+	return BufMsg{HasPage: true, Size: hw.Size4K, Perm: e.Perm}, nil, true
+}
+
+// deliverPage mirrors the page half of kernel.deliver, with the
+// kernel's exact failure order: the page count is charged first
+// (EQUOTA), then the mapping is validated (EINVAL), then any
+// materialized table nodes are charged (EQUOTA, rolled back with the
+// same prune the failed-mmap transition runs). A failed delivery drops
+// the message's page reference below the abstraction line.
+func (ip *Interp) deliverPage(proc Ptr, va hw.VirtAddr, m BufMsg) kernel.Errno {
+	owner := ip.St.Procs[proc].Owner
+	pages := m.Size.Bytes() / hw.PageSize4K
+	if !ip.chargeFits(owner, pages) {
+		return kernel.EQUOTA
+	}
+	as := ip.St.AddressSpaces[proc]
+	if va&hw.VirtAddr(m.Size.Bytes()-1) != 0 || spaceCovers(as, va) {
+		return kernel.EINVAL
+	}
+	kset := ip.keys[proc]
+	need := make(map[uint64]bool)
+	for _, k := range nodeKeys(va, m.Size) {
+		if !kset[k] {
+			need[k] = true
+		}
+	}
+	if !ip.chargeFits(owner, pages+uint64(len(need))) {
+		ip.mmapPrune(proc, owner)
+		return kernel.EQUOTA
+	}
+	if as == nil {
+		as = make(map[hw.VirtAddr]pt.MapEntry)
+		ip.St.AddressSpaces[proc] = as
+	}
+	as[va] = pt.MapEntry{Size: m.Size, Perm: m.Perm}
+	for k := range need {
+		kset[k] = true
+	}
+	ip.charge(owner, pages+uint64(len(need)))
+	return kernel.OK
+}
+
+// deliverTo mirrors kernel.deliver for a woken receiver: the page lands
+// first (its failure voids the endpoint install — the kernel returns
+// early), then the endpoint descriptor. The woken receiver's errno is
+// below the abstraction line (it surfaces through its own syscall's
+// return, which the harness does not observe for a wake).
+func (ip *Interp) deliverTo(rptr Ptr, msg BufMsg, xfer Ptr) {
+	if msg.HasPage {
+		rt := ip.St.Threads[rptr]
+		if ip.deliverPage(rt.OwningProc, ip.recvVA[rptr], msg) != kernel.OK {
+			return
+		}
+	}
+	ip.installEdpt(rptr, ip.recvSlot[rptr], xfer)
+}
+
 // resolveXfer mirrors the endpoint half of kernel.resolveMsg: validates
 // the transfer slot and reads the endpoint it names (0 when no transfer
 // was requested).
@@ -693,8 +779,9 @@ func (ip *Interp) wake(th Ptr) {
 }
 
 // Send applies the send specification: scalar registers plus an optional
-// endpoint transfer from the caller's xferSlot.
-func (ip *Interp) Send(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kernel.Ret) error {
+// endpoint transfer from the caller's xferSlot and an optional page
+// grant of the 4 KiB mapping at grantVA (0: no grant).
+func (ip *Interp) Send(tid Ptr, slot int, sendEdpt bool, xferSlot int, grantVA hw.VirtAddr, ret kernel.Ret) error {
 	t, okc := ip.caller(tid)
 	if !okc {
 		return expect("send", kernel.EINVAL, ret)
@@ -703,26 +790,38 @@ func (ip *Interp) Send(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kerne
 		return expect("send", kernel.EINVAL, ret)
 	}
 	ep := t.Endpoints[slot]
+	var msg BufMsg
+	if grantVA != 0 {
+		m, err, okg := ip.resolveGrant("send", t.OwningProc, grantVA, ret)
+		if !okg {
+			return err
+		}
+		msg = m
+	}
 	xfer, err, okx := ip.resolveXfer("send", t, sendEdpt, xferSlot, ret)
 	if !okx {
+		// The grant stands: the kernel resolves the page half first, and
+		// a failed endpoint half drops the in-flight message — the
+		// granted page is simply gone.
 		return err
 	}
 	e := ip.St.Endpoints[ep]
 	if e.QueuedRecv && len(e.Queue) > 0 {
-		// Rendezvous: the head receiver is woken; a failed endpoint
-		// install is reported to the receiver, not the sender.
+		// Rendezvous: the head receiver is woken; a failed page or
+		// endpoint delivery is reported to the receiver, not the sender.
 		if err := expect("send", kernel.OK, ret); err != nil {
 			return err
 		}
 		rptr := e.Queue[0]
 		e.Queue = e.Queue[1:]
 		ip.St.Endpoints[ep] = e
-		ip.installEdpt(rptr, ip.recvSlot[rptr], xfer)
+		ip.deliverTo(rptr, msg, xfer)
 		rt := ip.St.Threads[rptr]
 		rt.WaitingOn = 0
 		ip.St.Threads[rptr] = rt
 		ip.wake(rptr)
 		delete(ip.recvSlot, rptr)
+		delete(ip.recvVA, rptr)
 		return nil
 	}
 	if err := expect("send", kernel.EWOULDBLOCK, ret); err != nil {
@@ -737,12 +836,64 @@ func (ip *Interp) Send(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kerne
 	if xfer != 0 {
 		ip.sendEdpt[tid] = xfer
 	}
+	if msg.HasPage {
+		ip.sendPage[tid] = msg
+	}
+	return nil
+}
+
+// SendAsync applies the send_async specification: never blocks — a
+// parked receiver gets an ordinary rendezvous delivery, otherwise the
+// message joins the endpoint's bounded buffer (EAGAIN when full,
+// refused before the grant resolves). Endpoint transfers are not part
+// of send_async's surface (the kernel rejects them with EINVAL).
+func (ip *Interp) SendAsync(tid Ptr, slot int, grantVA hw.VirtAddr, ret kernel.Ret) error {
+	t, okc := ip.caller(tid)
+	if !okc {
+		return expect("send_async", kernel.EINVAL, ret)
+	}
+	if slot < 0 || slot >= pm.MaxEndpoints || t.Endpoints[slot] == 0 {
+		return expect("send_async", kernel.EINVAL, ret)
+	}
+	ep := t.Endpoints[slot]
+	e := ip.St.Endpoints[ep]
+	rendezvous := e.QueuedRecv && len(e.Queue) > 0
+	if !rendezvous && len(e.Buffered) >= pm.MaxEndpointBuffer {
+		return expect("send_async", kernel.EAGAIN, ret)
+	}
+	var msg BufMsg
+	if grantVA != 0 {
+		m, err, okg := ip.resolveGrant("send_async", t.OwningProc, grantVA, ret)
+		if !okg {
+			return err
+		}
+		msg = m
+	}
+	if err := expect("send_async", kernel.OK, ret); err != nil {
+		return err
+	}
+	if rendezvous {
+		rptr := e.Queue[0]
+		e.Queue = e.Queue[1:]
+		ip.St.Endpoints[ep] = e
+		ip.deliverTo(rptr, msg, 0)
+		rt := ip.St.Threads[rptr]
+		rt.WaitingOn = 0
+		ip.St.Threads[rptr] = rt
+		ip.wake(rptr)
+		delete(ip.recvSlot, rptr)
+		delete(ip.recvVA, rptr)
+		return nil
+	}
+	e.Buffered = append(e.Buffered, msg)
+	ip.St.Endpoints[ep] = e
 	return nil
 }
 
 // Recv applies the recv specification; reqSlot is where an incoming
-// endpoint descriptor should land (-1: first free).
-func (ip *Interp) Recv(tid Ptr, slot int, reqSlot int, ret kernel.Ret) error {
+// endpoint descriptor should land (-1: first free) and recvVA is where
+// an incoming page should be mapped.
+func (ip *Interp) Recv(tid Ptr, slot int, reqSlot int, recvVA hw.VirtAddr, ret kernel.Ret) error {
 	t, okc := ip.caller(tid)
 	if !okc {
 		return expect("recv", kernel.EINVAL, ret)
@@ -752,20 +903,43 @@ func (ip *Interp) Recv(tid Ptr, slot int, reqSlot int, ret kernel.Ret) error {
 	}
 	ep := t.Endpoints[slot]
 	e := ip.St.Endpoints[ep]
+	if len(e.Buffered) > 0 {
+		// Asynchronously buffered messages drain ahead of any blocked
+		// senders: no partner to wake, just the buffer pop. A granted
+		// page lands in the caller's space; its delivery failure is the
+		// caller's errno.
+		m := e.Buffered[0]
+		e.Buffered = e.Buffered[1:]
+		ip.St.Endpoints[ep] = e
+		if m.HasPage {
+			if errno := ip.deliverPage(t.OwningProc, recvVA, m); errno != kernel.OK {
+				return expect("recv", errno, ret)
+			}
+		}
+		return expect("recv", kernel.OK, ret)
+	}
 	if !e.QueuedRecv && len(e.Queue) > 0 {
 		// Rendezvous: take the head sender's pending message; the sender
-		// is woken cleanly either way, a failed install surfaces as the
-		// receiver's errno.
+		// is woken cleanly either way, a failed page delivery or install
+		// surfaces as the receiver's errno. The page lands before the
+		// endpoint descriptor, and its failure voids the install.
 		sptr := e.Queue[0]
 		e.Queue = e.Queue[1:]
 		ip.St.Endpoints[ep] = e
 		xfer := ip.sendEdpt[sptr]
 		delete(ip.sendEdpt, sptr)
-		installed := ip.installEdpt(tid, reqSlot, xfer)
+		page, hadPage := ip.sendPage[sptr]
+		delete(ip.sendPage, sptr)
 		st := ip.St.Threads[sptr]
 		st.WaitingOn = 0
 		ip.St.Threads[sptr] = st
 		ip.wake(sptr)
+		if hadPage {
+			if errno := ip.deliverPage(t.OwningProc, recvVA, page); errno != kernel.OK {
+				return expect("recv", errno, ret)
+			}
+		}
+		installed := ip.installEdpt(tid, reqSlot, xfer)
 		if !installed {
 			return expect("recv", kernel.EDEADOBJ, ret)
 		}
@@ -781,13 +955,14 @@ func (ip *Interp) Recv(tid Ptr, slot int, reqSlot int, ret kernel.Ret) error {
 	e.Queue = append(e.Queue, tid)
 	ip.St.Endpoints[ep] = e
 	ip.recvSlot[tid] = reqSlot
+	ip.recvVA[tid] = recvVA
 	return nil
 }
 
 // Call applies the call specification: it requires a server already
-// blocked receiving, delivers, and leaves the caller blocked awaiting the
-// reply on the same endpoint.
-func (ip *Interp) Call(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kernel.Ret) error {
+// blocked receiving, delivers (including an optional page grant), and
+// leaves the caller blocked awaiting the reply on the same endpoint.
+func (ip *Interp) Call(tid Ptr, slot int, sendEdpt bool, xferSlot int, grantVA hw.VirtAddr, ret kernel.Ret) error {
 	t, okc := ip.caller(tid)
 	if !okc {
 		return expect("call", kernel.EINVAL, ret)
@@ -800,9 +975,17 @@ func (ip *Interp) Call(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kerne
 	if !e.QueuedRecv || len(e.Queue) == 0 {
 		return expect("call", kernel.EWOULDBLOCK, ret)
 	}
+	var msg BufMsg
+	if grantVA != 0 {
+		m, err, okg := ip.resolveGrant("call", t.OwningProc, grantVA, ret)
+		if !okg {
+			return err
+		}
+		msg = m
+	}
 	xfer, err, okx := ip.resolveXfer("call", t, sendEdpt, xferSlot, ret)
 	if !okx {
-		return err
+		return err // the grant stands, as in Send
 	}
 	// The fastpath's "blocked awaiting reply" is reported EWOULDBLOCK.
 	if err := expect("call", kernel.EWOULDBLOCK, ret); err != nil {
@@ -810,16 +993,17 @@ func (ip *Interp) Call(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kerne
 	}
 	server := e.Queue[0]
 	e.Queue = e.Queue[1:]
-	// Write the pop back before installEdpt: when the transferred endpoint
+	// Write the pop back before deliverTo: when the transferred endpoint
 	// is ep itself, installEdpt bumps ip.St.Endpoints[ep] and a stale
 	// local copy written afterwards would lose that reference.
 	ip.St.Endpoints[ep] = e
-	ip.installEdpt(server, ip.recvSlot[server], xfer)
+	ip.deliverTo(server, msg, xfer)
 	sst := ip.St.Threads[server]
 	sst.WaitingOn = 0
 	ip.St.Threads[server] = sst
 	ip.wake(server)
 	delete(ip.recvSlot, server)
+	delete(ip.recvVA, server)
 	t = ip.St.Threads[tid]
 	t.State = pm.ThreadBlockedRecv
 	t.WaitingOn = ep
@@ -829,6 +1013,7 @@ func (ip *Interp) Call(tid Ptr, slot int, sendEdpt bool, xferSlot int, ret kerne
 	e.Queue = append(e.Queue, tid)
 	ip.St.Endpoints[ep] = e
 	ip.recvSlot[tid] = -1
+	delete(ip.recvVA, tid)
 	return nil
 }
 
@@ -857,6 +1042,10 @@ func (ip *Interp) unlink(th Ptr) {
 	}
 	delete(ip.sendEdpt, th)
 	delete(ip.recvSlot, th)
+	// A blocked sender's granted page dies with the message
+	// (kernel.unlinkFromEndpoint drops the pending Msg).
+	delete(ip.sendPage, th)
+	delete(ip.recvVA, th)
 }
 
 // reapThread mirrors kernel.reapThread.
@@ -977,6 +1166,8 @@ func (ip *Interp) destroyEndpointDying(eptr Ptr, killed map[Ptr]bool) {
 		ip.St.Threads[q] = qt
 		delete(ip.sendEdpt, q)
 		delete(ip.recvSlot, q)
+		delete(ip.sendPage, q)
+		delete(ip.recvVA, q)
 	}
 	for _, th := range sortedPtrKeys(ip.St.Threads) {
 		tt := ip.St.Threads[th]
@@ -1251,6 +1442,8 @@ func (ip *Interp) Diff(k State) error {
 			return fmt.Errorf("endpoint %#x: refcount kernel=%d spec=%d", p, ke.RefCount, se.RefCount)
 		case ke.OwnerCntr != se.OwnerCntr:
 			return fmt.Errorf("endpoint %#x: owner_cntr kernel=%#x spec=%#x", p, ke.OwnerCntr, se.OwnerCntr)
+		case !bufsEqual(ke.Buffered, se.Buffered):
+			return fmt.Errorf("endpoint %#x: buffered kernel=%v spec=%v", p, ke.Buffered, se.Buffered)
 		}
 	}
 	for _, p := range sortedPtrKeys(k.Endpoints) {

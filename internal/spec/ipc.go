@@ -24,6 +24,13 @@ func SendSpec(old, new State, tid Ptr, slot int, args kernel.SendArgs, ret kerne
 	case kernel.EWOULDBLOCK:
 		nt := new.Threads[tid]
 		oe, ne := old.Endpoints[ep], new.Endpoints[ep]
+		// A granted page leaves the sender's space (and credits its
+		// container) before the sender blocks.
+		var exceptSpaces, exceptCntrs []Ptr
+		if args.GrantPage {
+			exceptSpaces = append(exceptSpaces, ot.OwningProc)
+			exceptCntrs = append(exceptCntrs, ot.OwningCntr)
+		}
 		if err := firstErr(
 			check(nt.State == pm.ThreadBlockedSend, "blocked sender state = %v", nt.State),
 			check(nt.WaitingOn == ep, "blocked sender waits on %#x", nt.WaitingOn),
@@ -33,14 +40,15 @@ func SendSpec(old, new State, tid Ptr, slot int, args kernel.SendArgs, ret kerne
 			threadsUnchangedModSched(old, new, tid),
 			check(EndpointsUnchangedExcept(old, new, ep), "blocking send changed another endpoint"),
 			check(ProcsUnchangedExcept(old, new), "blocking send changed a process"),
-			check(ContainersUnchangedExcept(old, new), "blocking send changed a container"),
-			check(SpacesUnchangedExcept(old, new), "blocking send changed an address space"),
+			check(ContainersUnchangedExcept(old, new, exceptCntrs...), "blocking send changed a container"),
+			check(SpacesUnchangedExcept(old, new, exceptSpaces...), "blocking send changed an address space"),
 		); err != nil {
 			return err
 		}
 		return nil
 	case kernel.OK:
-		return rendezvousDeliverSpec(old, new, tid, ep, args.Regs, args.SendPage, args.SendEdpt)
+		return rendezvousDeliverSpec(old, new, tid, ep, args.Regs,
+			args.SendPage || args.GrantPage, args.SendEdpt, args.GrantPage)
 	default:
 		return nil // validation failures are covered by WF + fail frames elsewhere
 	}
@@ -48,7 +56,9 @@ func SendSpec(old, new State, tid Ptr, slot int, args kernel.SendArgs, ret kerne
 
 // rendezvousDeliverSpec checks a completed sender->receiver handoff: the
 // receiver at the head of the endpoint queue is woken with the message.
-func rendezvousDeliverSpec(old, new State, sender, ep Ptr, regs [4]uint64, hasPage, hasEdpt bool) error {
+// granted marks a zero-copy grant, which additionally moves the page
+// OUT of the sender's space (crediting the sender's container).
+func rendezvousDeliverSpec(old, new State, sender, ep Ptr, regs [4]uint64, hasPage, hasEdpt, granted bool) error {
 	oe, ne := old.Endpoints[ep], new.Endpoints[ep]
 	if err := check(oe.QueuedRecv && len(oe.Queue) > 0,
 		"send completed with no waiting receiver"); err != nil {
@@ -80,6 +90,10 @@ func rendezvousDeliverSpec(old, new State, sender, ep Ptr, regs [4]uint64, hasPa
 	if hasPage {
 		exceptCntrs = append(exceptCntrs, new.Threads[recv].OwningCntr)
 	}
+	if granted {
+		exceptSpaces = append(exceptSpaces, old.Threads[sender].OwningProc)
+		exceptCntrs = append(exceptCntrs, old.Threads[sender].OwningCntr)
+	}
 	exceptThreads := []Ptr{sender, recv}
 	return firstErr(
 		threadsUnchangedModSched(old, new, exceptThreads...),
@@ -107,7 +121,7 @@ func endpointsUnchangedModRefs(old, new State, ep Ptr, hasEdpt bool) error {
 		}
 		if hasEdpt && nep.RefCount == oe.RefCount+1 &&
 			EndpointEqual(oe, Endpoint{Queue: nep.Queue, QueuedRecv: nep.QueuedRecv,
-				RefCount: oe.RefCount, OwnerCntr: nep.OwnerCntr}) {
+				RefCount: oe.RefCount, OwnerCntr: nep.OwnerCntr, Buffered: nep.Buffered}) {
 			bumped++
 			continue
 		}
@@ -147,6 +161,19 @@ func RecvSpec(old, new State, tid Ptr, slot int, args kernel.RecvArgs, ret kerne
 		)
 	case kernel.OK:
 		oe := old.Endpoints[ep]
+		if len(oe.Buffered) > 0 {
+			// Asynchronously buffered messages drain ahead of any
+			// blocked sender; nothing is dequeued or woken.
+			ne := new.Endpoints[ep]
+			return firstErr(
+				check(bufsEqual(ne.Buffered, oe.Buffered[1:]), "buffer not popped in order"),
+				check(ptrsEqual(ne.Queue, oe.Queue), "buffered pop touched the queue"),
+				threadsUnchangedModSched(old, new, tid),
+				check(ProcsUnchangedExcept(old, new), "recv changed a process"),
+				check(SpacesUnchangedExcept(old, new, ot.OwningProc), "recv changed an unrelated space"),
+				check(ContainersUnchangedExcept(old, new, ot.OwningCntr), "recv changed an unrelated container"),
+			)
+		}
 		if err := check(!oe.QueuedRecv && len(oe.Queue) > 0,
 			"recv completed with no waiting sender"); err != nil {
 			return err
@@ -172,8 +199,9 @@ func RecvSpec(old, new State, tid Ptr, slot int, args kernel.RecvArgs, ret kerne
 
 // CallReplySpec checks the call fastpath: the server (head of the
 // receiver queue) is woken with the request and the caller ends blocked
-// receiving on the same endpoint.
-func CallReplySpec(old, new State, tid Ptr, slot int, ret kernel.Ret) error {
+// receiving on the same endpoint. granted marks a zero-copy page grant
+// riding the request (caller's space shrinks, server's may grow).
+func CallReplySpec(old, new State, tid Ptr, slot int, granted bool, ret kernel.Ret) error {
 	ot, okCaller := old.Threads[tid]
 	if !okCaller || slot < 0 || slot >= pm.MaxEndpoints || ot.Endpoints[slot] == 0 {
 		return nil
@@ -184,13 +212,19 @@ func CallReplySpec(old, new State, tid Ptr, slot int, ret kernel.Ret) error {
 		return nil
 	}
 	if !oe.QueuedRecv || len(oe.Queue) == 0 {
-		// Refused fastpath: nothing changed.
+		// Refused fastpath: nothing changed (the refusal precedes any
+		// grant resolution).
 		return check(Unchanged(old, new), "refused call changed state")
 	}
 	server := oe.Queue[0]
 	nt := new.Threads[tid]
 	nst := new.Threads[server]
 	ne := new.Endpoints[ep]
+	var exceptSpaces, exceptCntrs []Ptr
+	if granted {
+		exceptSpaces = append(exceptSpaces, ot.OwningProc, old.Threads[server].OwningProc)
+		exceptCntrs = append(exceptCntrs, ot.OwningCntr, old.Threads[server].OwningCntr)
+	}
 	return firstErr(
 		check(nt.State == pm.ThreadBlockedRecv && nt.WaitingOn == ep,
 			"caller not blocked for reply"),
@@ -200,9 +234,62 @@ func CallReplySpec(old, new State, tid Ptr, slot int, ret kernel.Ret) error {
 			"caller not queued for reply"),
 		threadsUnchangedModSched(old, new, tid, server),
 		check(ProcsUnchangedExcept(old, new), "call changed a process"),
-		check(ContainersUnchangedExcept(old, new), "call changed a container"),
-		check(SpacesUnchangedExcept(old, new), "call changed an address space"),
+		check(ContainersUnchangedExcept(old, new, exceptCntrs...), "call changed a container"),
+		check(SpacesUnchangedExcept(old, new, exceptSpaces...), "call changed an address space"),
 	)
+}
+
+// SendAsyncSpec: an asynchronous send never blocks the caller. With a
+// parked receiver it behaves as a completed rendezvous send; otherwise
+// the message lands at the tail of the endpoint's buffer. A full buffer
+// refuses with EAGAIN before any grant resolution, leaving state
+// unchanged.
+func SendAsyncSpec(old, new State, tid Ptr, slot int, args kernel.SendArgs, ret kernel.Ret) error {
+	ot, okCaller := old.Threads[tid]
+	if !okCaller || slot < 0 || slot >= pm.MaxEndpoints || ot.Endpoints[slot] == 0 {
+		return check(ret.Errno != kernel.OK, "send_async on invalid slot did not fail")
+	}
+	if args.SendEdpt {
+		return check(ret.Errno == kernel.EINVAL, "send_async with endpoint transfer not refused")
+	}
+	ep := ot.Endpoints[slot]
+	oe := old.Endpoints[ep]
+	if nt, ok := new.Threads[tid]; ok &&
+		ot.State != pm.ThreadBlockedSend && ot.State != pm.ThreadBlockedRecv {
+		if err := check(nt.State != pm.ThreadBlockedSend && nt.State != pm.ThreadBlockedRecv,
+			"send_async blocked the caller"); err != nil {
+			return err
+		}
+	}
+	switch ret.Errno {
+	case kernel.EAGAIN:
+		return check(Unchanged(old, new), "refused send_async changed state")
+	case kernel.OK:
+		if oe.QueuedRecv && len(oe.Queue) > 0 {
+			return rendezvousDeliverSpec(old, new, tid, ep, args.Regs,
+				args.SendPage || args.GrantPage, false, args.GrantPage)
+		}
+		ne := new.Endpoints[ep]
+		var exceptSpaces, exceptCntrs []Ptr
+		if args.GrantPage {
+			exceptSpaces = append(exceptSpaces, ot.OwningProc)
+			exceptCntrs = append(exceptCntrs, ot.OwningCntr)
+		}
+		return firstErr(
+			check(len(ne.Buffered) == len(oe.Buffered)+1 &&
+				len(ne.Buffered) <= pm.MaxEndpointBuffer, "message not buffered"),
+			check(bufsEqual(ne.Buffered[:len(oe.Buffered)], oe.Buffered), "buffer tail-append violated"),
+			check(ne.Buffered[len(ne.Buffered)-1].HasPage == args.GrantPage, "buffered page flag wrong"),
+			check(ptrsEqual(ne.Queue, oe.Queue), "buffered send_async touched the queue"),
+			threadsUnchangedModSched(old, new, tid),
+			check(EndpointsUnchangedExcept(old, new, ep), "buffered send_async changed another endpoint"),
+			check(ProcsUnchangedExcept(old, new), "send_async changed a process"),
+			check(SpacesUnchangedExcept(old, new, exceptSpaces...), "send_async changed an unrelated space"),
+			check(ContainersUnchangedExcept(old, new, exceptCntrs...), "send_async changed an unrelated container"),
+		)
+	default:
+		return nil
+	}
 }
 
 // ReplyRecvSpec checks the combined reply+receive fastpath: the waiting

@@ -60,12 +60,24 @@ type Thread struct {
 	WaitingOn  Ptr
 }
 
+// BufMsg is the abstract image of one buffered (or in-flight) message's
+// capability payload. Scalar registers are below the abstraction line —
+// Ψ tracks what authority a message carries, not its data.
+type BufMsg struct {
+	HasPage bool
+	Size    hw.PageSize
+	Perm    pt.Perm
+}
+
 // Endpoint is the abstract view of one endpoint.
 type Endpoint struct {
 	Queue      []Ptr
 	QueuedRecv bool
 	RefCount   int
 	OwnerCntr  Ptr
+	// Buffered mirrors the endpoint's asynchronous message buffer
+	// (send_async appends, receives pop FIFO ahead of the sender queue).
+	Buffered []BufMsg
 }
 
 // State is the abstract kernel state Ψ.
@@ -147,11 +159,16 @@ func Abstract(p *pm.ProcessManager, alloc *mem.Allocator, iom *iommu.IOMMU) Stat
 		}
 	}
 	for ptr, e := range p.EdptPerms {
+		var buf []BufMsg
+		for _, m := range e.Buffer {
+			buf = append(buf, BufMsg{HasPage: m.HasPage, Size: m.PageSize, Perm: m.PagePerm})
+		}
 		st.Endpoints[ptr] = Endpoint{
 			Queue:      append([]Ptr(nil), e.Queue...),
 			QueuedRecv: e.QueuedRecv,
 			RefCount:   e.RefCount,
 			OwnerCntr:  e.OwnerCntr,
+			Buffered:   buf,
 		}
 	}
 	if iom != nil {
@@ -221,10 +238,23 @@ func ThreadEqual(a, b Thread) bool {
 	return a == b
 }
 
+func bufsEqual(a, b []BufMsg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // EndpointEqual reports full equality of two abstract endpoints.
 func EndpointEqual(a, b Endpoint) bool {
 	return a.QueuedRecv == b.QueuedRecv && a.RefCount == b.RefCount &&
-		a.OwnerCntr == b.OwnerCntr && ptrsEqual(a.Queue, b.Queue)
+		a.OwnerCntr == b.OwnerCntr && ptrsEqual(a.Queue, b.Queue) &&
+		bufsEqual(a.Buffered, b.Buffered)
 }
 
 // SpaceEqual reports equality of two abstract address spaces.

@@ -154,6 +154,15 @@ func (c *Checker) Send(core int, tid pm.Ptr, slot int, args kernel.SendArgs) (ke
 		})
 }
 
+// SendAsync is the checked SysSendAsync.
+func (c *Checker) SendAsync(core int, tid pm.Ptr, slot int, args kernel.SendArgs) (kernel.Ret, error) {
+	return c.step("send_async",
+		func() kernel.Ret { return c.K.SysSendAsync(core, tid, slot, args) },
+		func(old, new spec.State, ret kernel.Ret) error {
+			return spec.SendAsyncSpec(old, new, tid, slot, args, ret)
+		})
+}
+
 // Recv is the checked SysRecv.
 func (c *Checker) Recv(core int, tid pm.Ptr, slot int, args kernel.RecvArgs) (kernel.Ret, error) {
 	return c.step("recv",
@@ -168,7 +177,7 @@ func (c *Checker) Call(core int, tid pm.Ptr, slot int, args kernel.SendArgs) (ke
 	return c.step("call",
 		func() kernel.Ret { return c.K.SysCall(core, tid, slot, args) },
 		func(old, new spec.State, ret kernel.Ret) error {
-			return spec.CallReplySpec(old, new, tid, slot, ret)
+			return spec.CallReplySpec(old, new, tid, slot, args.GrantPage, ret)
 		})
 }
 

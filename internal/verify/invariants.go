@@ -469,6 +469,13 @@ func MemoryWF(k *kernel.Kernel) error {
 			refs[t.IPC.Msg.Page]++
 		}
 	}
+	for _, e := range k.PM.EdptPerms {
+		for _, m := range e.Buffer {
+			if m.HasPage {
+				refs[m.Page]++
+			}
+		}
+	}
 	for p := range snap.Mapped {
 		rc, err := k.Alloc.RefCount(p)
 		if err != nil {
